@@ -1,0 +1,40 @@
+// Extension bench: pipelined ring broadcast under three drives (§6:
+// collectives motivated triggered semantics). HDN forwards on the host at
+// every hop; GPU-TN forwards from a persistent kernel; the NIC chain
+// forwards in NIC hardware with neither processor in the control path.
+#include <cstdio>
+
+#include "workloads/broadcast.hpp"
+
+using namespace gputn;
+using namespace gputn::workloads;
+
+int main() {
+  std::printf("Extension: 1 MB pipelined ring broadcast (16 chunks)\n\n");
+  std::printf("%6s %12s %12s %12s %16s\n", "nodes", "HDN", "GPU-TN",
+              "NIC-chain", "chain vs HDN");
+  for (int nodes : {2, 4, 8, 16, 32}) {
+    double t[3];
+    int i = 0;
+    bool ok = true;
+    for (BroadcastDrive d : {BroadcastDrive::kHdn, BroadcastDrive::kGpuTn,
+                             BroadcastDrive::kNicChain}) {
+      BroadcastConfig cfg;
+      cfg.drive = d;
+      cfg.nodes = nodes;
+      cfg.bytes = 1 << 20;
+      cfg.chunks = 16;
+      auto res = run_broadcast(cfg);
+      ok = ok && res.correct;
+      t[i++] = sim::to_us(res.total_time);
+    }
+    std::printf("%6d %10.1fus %10.1fus %10.1fus %15.1f%%   %s\n", nodes, t[0],
+                t[1], t[2], 100.0 * (1.0 - t[2] / t[0]),
+                ok ? "" : "[DATA MISMATCH]");
+  }
+  std::printf(
+      "\nPer-hop control cost sets the pipeline's fill latency: host stack\n"
+      "(HDN) > GPU poll + trigger (GPU-TN) > NIC rx event (chain). With\n"
+      "data streaming through many hops the chain's advantage compounds.\n");
+  return 0;
+}

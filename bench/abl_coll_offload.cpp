@@ -1,0 +1,54 @@
+// Ablation (§6): NIC-offloaded allgather inside the GPU-TN allreduce.
+//
+// In the baseline GPU-TN collective the persistent kernel paces every ring
+// step: it polls the arrival flag and stores the trigger tag even for pure
+// forwarding steps. With triggered-op chains (counting receive events
+// arming pre-staged puts), the entire allgather phase runs on the NICs:
+// each arriving chunk immediately launches the next hop, and the GPU only
+// observes its own final arrivals.
+#include <cstdio>
+
+#include "workloads/allreduce.hpp"
+
+using namespace gputn;
+using namespace gputn::workloads;
+
+namespace {
+
+void sweep(const char* label, int nodes, std::size_t elements) {
+  AllreduceConfig base;
+  base.strategy = Strategy::kGpuTn;
+  base.nodes = nodes;
+  base.elements = elements;
+  AllreduceConfig off = base;
+  off.nic_offload_allgather = true;
+  auto a = run_allreduce(base);
+  auto b = run_allreduce(off);
+  std::printf("%-14s %6d %12.1fus %12.1fus %9.2f%%   %s\n", label, nodes,
+              sim::to_us(a.total_time), sim::to_us(b.total_time),
+              100.0 * (1.0 - sim::to_us(b.total_time) /
+                                 sim::to_us(a.total_time)),
+              (a.correct && b.correct) ? "ok" : "REDUCTION MISMATCH");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: GPU-paced vs NIC-offloaded allgather in the GPU-TN\n"
+              "ring allreduce\n\n");
+  std::printf("%-14s %6s %14s %14s %10s   %s\n", "payload", "nodes",
+              "GPU-paced", "NIC-offloaded", "saving", "verified");
+  // Large payloads: wire time dominates; pipelining hides the GPU pacing.
+  for (int nodes : {8, 16, 32}) sweep("8 MB", nodes, 2 * 1024 * 1024);
+  // Small payloads: per-hop GPU poll quantization + trigger stores are a
+  // real fraction of each forwarding step.
+  for (int nodes : {8, 16, 32}) sweep("64 KB", nodes, 16 * 1024);
+  for (int nodes : {8, 16, 32}) sweep("16 KB", nodes, 4 * 1024);
+  std::printf(
+      "\nAt 8 MB the GPU pacing is fully hidden behind the wire; at small\n"
+      "payloads the chained allgather shaves the per-hop GPU poll +\n"
+      "system-scope trigger store. Either way the GPU leaves the\n"
+      "allgather's control path entirely — the point of the §6\n"
+      "triggered-operations lineage.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Ablation (§4.2): trigger granularity.
+//
+// The same 64 KiB payload is sent from a 16-work-group kernel at four
+// granularities:
+//   work-item : 256 tags, threshold 1  -> 256 messages of 256 B
+//   pair      : 128 tags, threshold 2  -> 128 messages of 512 B (§4.2.3)
+//   work-group:  16 tags, threshold 1  ->  16 messages of 4 KiB
+//   kernel    :   1 tag, threshold 16  ->   1 message of 64 KiB
+//
+// Finer granularities start transfers earlier (pipelining) but pay
+// per-message wire/NIC overheads and more trigger traffic.
+#include <cstdio>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "sim/sync.hpp"
+
+using namespace gputn;
+
+namespace {
+
+struct Result {
+  double total_us;
+  std::uint64_t messages;
+  std::uint64_t triggers;
+};
+
+Result run_granularity(int num_msgs, int writes_per_msg, int num_wgs) {
+  const std::uint64_t kTotalBytes = 64 * 1024;
+  const std::uint64_t msg_bytes = kTotalBytes / num_msgs;
+
+  sim::Simulator sim;
+  cluster::SystemConfig cfg = cluster::SystemConfig::table2();
+  cfg.dram_bytes = 8u << 20;
+  cfg.triggered.table.lookup = core::LookupKind::kHash;
+  cluster::Cluster cl(sim, cfg, 2);
+  auto& a = cl.node(0);
+  auto& b = cl.node(1);
+
+  mem::Addr src = a.memory().alloc(kTotalBytes);
+  mem::Addr dst = b.memory().alloc(kTotalBytes);
+  std::vector<mem::Addr> flags;
+  for (int i = 0; i < num_msgs; ++i) flags.push_back(b.rt().alloc_flag());
+
+  sim.spawn(
+      [](cluster::Node& n, int num_msgs, int writes_per_msg, int num_wgs,
+         std::uint64_t msg_bytes, mem::Addr src, mem::Addr dst,
+         std::vector<mem::Addr> flags) -> sim::Task<> {
+        for (int i = 0; i < num_msgs; ++i) {
+          nic::PutDesc p;
+          p.target = 1;
+          p.local_addr = src + msg_bytes * i;
+          p.bytes = msg_bytes;
+          p.remote_addr = dst + msg_bytes * i;
+          p.remote_flag = flags[i];
+          co_await n.rt().trig_put(i, writes_per_msg, p);
+        }
+        mem::Addr trig = n.rt().trigger_addr();
+        // Total trigger writes = num_msgs * writes_per_msg, spread evenly
+        // across work-groups (work-items modelled as per-WG write loops).
+        int total_writes = num_msgs * writes_per_msg;
+        int per_wg = total_writes / num_wgs;
+        gpu::KernelDesc k;
+        k.num_wgs = num_wgs;
+        std::uint64_t slice = 64 * 1024 / static_cast<std::uint64_t>(num_wgs);
+        k.fn = [trig, per_wg, num_msgs, writes_per_msg, slice](
+                   gpu::WorkGroupCtx& ctx) -> sim::Task<> {
+          co_await ctx.compute_mem(slice);  // produce this WG's data
+          co_await ctx.fence_system();
+          int base = ctx.wg_id() * per_wg;
+          for (int w = 0; w < per_wg; ++w) {
+            int write_index = base + w;
+            std::uint64_t tag = write_index / writes_per_msg;
+            (void)num_msgs;
+            co_await ctx.store_system(trig, tag);
+          }
+        };
+        co_await n.rt().launch_sync(std::move(k));
+      }(a, num_msgs, writes_per_msg, num_wgs, msg_bytes, src, dst, flags),
+      "host");
+  // Target-side observer: completion when every message's flag is set.
+  sim::Tick all_arrived = -1;
+  sim.spawn(
+      [](cluster::Node& n, std::vector<mem::Addr> flags,
+         sim::Tick& out) -> sim::Task<> {
+        for (auto f : flags) co_await n.cpu().wait_value_ge(f, 1);
+        out = n.cpu().simulator().now();
+      }(b, flags, all_arrived),
+      "target");
+  sim.run();
+  if (all_arrived < 0) std::printf("  [messages never completed!]\n");
+
+  Result r;
+  r.total_us = sim::to_us(all_arrived);
+  r.messages = b.nic().stats().counter_value("puts_received");
+  r.triggers = a.triggered().triggers_received();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: trigger granularity (§4.2), 64 KiB total payload\n\n");
+  std::printf("%-12s %10s %10s %10s %12s\n", "granularity", "messages",
+              "triggers", "bytes/msg", "total us");
+  struct Case {
+    const char* name;
+    int msgs;
+    int writes_per_msg;
+  } cases[] = {
+      {"work-item", 256, 1},
+      {"pair", 128, 2},
+      {"work-group", 16, 1},
+      {"kernel", 1, 16},
+  };
+  for (const auto& c : cases) {
+    Result r = run_granularity(c.msgs, c.writes_per_msg, 16);
+    std::printf("%-12s %10llu %10llu %10d %12.2f\n", c.name,
+                static_cast<unsigned long long>(r.messages),
+                static_cast<unsigned long long>(r.triggers),
+                64 * 1024 / c.msgs, r.total_us);
+  }
+  std::printf(
+      "\n§4.2.3: the threshold/counter pair lets the programmer trade\n"
+      "message count against per-message overhead freely — pairs use half\n"
+      "the messages of work-item granularity with the same trigger count.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 10: strong scaling of an 8 MB ring Allreduce, speedup relative to
+// the CPU implementation, 2..32 nodes (§5.4.1).
+//
+// Paper shape: ~1.4x for all GPU strategies at small node counts; HDN
+// decays below 1.0 by ~24 nodes; GDS decays to ~1.0; GPU-TN keeps its
+// speedup through 32 nodes.
+#include <cstdio>
+
+#include "workloads/allreduce.hpp"
+
+using namespace gputn;
+using namespace gputn::workloads;
+
+int main() {
+  std::printf("Figure 10: 8MB fp32 ring Allreduce, speedup vs CPU\n\n");
+  std::printf("%6s %12s %8s %8s %8s %8s   %s\n", "nodes", "CPU us", "CPU",
+              "HDN", "GDS", "GPU-TN", "verified");
+
+  for (int nodes : {2, 5, 8, 11, 14, 17, 20, 23, 26, 29, 32}) {
+    AllreduceResult res[4];
+    bool all_ok = true;
+    for (int i = 0; i < 4; ++i) {
+      AllreduceConfig cfg;
+      cfg.strategy = kAllStrategies[i];
+      cfg.nodes = nodes;
+      cfg.elements = 2 * 1024 * 1024;  // 8 MB fp32
+      res[i] = run_allreduce(cfg);
+      all_ok = all_ok && res[i].correct;
+    }
+    double cpu = sim::to_us(res[0].total_time);
+    std::printf("%6d %12.0f %8.3f %8.3f %8.3f %8.3f   %s\n", nodes, cpu, 1.0,
+                cpu / sim::to_us(res[1].total_time),
+                cpu / sim::to_us(res[2].total_time),
+                cpu / sim::to_us(res[3].total_time),
+                all_ok ? "ok" : "REDUCTION MISMATCH");
+  }
+  return 0;
+}

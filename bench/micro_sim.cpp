@@ -1,0 +1,111 @@
+// Engineering microbenchmarks of the simulator's hot paths
+// (google-benchmark): event queue throughput, coroutine switches, channel
+// operations, trigger-table matching, and a full end-to-end microbench run.
+#include <benchmark/benchmark.h>
+
+#include "core/trigger_table.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "workloads/microbench.hpp"
+
+using namespace gputn;
+
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int sink = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_at(sim::ns(i % 97), [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+void BM_CoroutineDelayChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.spawn(
+        [](sim::Simulator& s, int reps) -> sim::Task<> {
+          for (int i = 0; i < reps; ++i) co_await s.delay(sim::ns(1));
+        }(sim, n),
+        "chain");
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CoroutineDelayChain)->Arg(1024)->Arg(16384);
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Channel<int> ping(sim), pong(sim);
+    sim.spawn(
+        [](sim::Channel<int>& in, sim::Channel<int>& out, int reps)
+            -> sim::Task<> {
+          for (int i = 0; i < reps; ++i) out.push(co_await in.pop());
+        }(ping, pong, n),
+        "echo");
+    sim.spawn(
+        [](sim::Channel<int>& out, sim::Channel<int>& in, int reps)
+            -> sim::Task<> {
+          for (int i = 0; i < reps; ++i) {
+            out.push(i);
+            co_await in.pop();
+          }
+        }(ping, pong, n),
+        "driver");
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ChannelPingPong)->Arg(4096);
+
+void BM_TriggerTableMatch(benchmark::State& state) {
+  const int entries = static_cast<int>(state.range(0));
+  core::TriggerTableConfig cfg;
+  cfg.lookup = core::LookupKind::kHash;
+  core::TriggerTable table(cfg);
+  std::vector<nic::Command> fired;
+  for (int i = 0; i < entries; ++i) {
+    table.register_op(
+        core::TriggeredOp{static_cast<core::Tag>(i), 1u << 30,
+                          nic::Command(nic::PutDesc{}), false, 0, {}},
+        fired);
+  }
+  std::uint64_t tag = 0;
+  for (auto _ : state) {
+    auto r = table.find_or_create(tag % entries);
+    table.increment(*r.counter, fired);
+    ++tag;
+    benchmark::DoNotOptimize(r.counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TriggerTableMatch)->Arg(16)->Arg(1024);
+
+void BM_FullMicrobench(benchmark::State& state) {
+  auto strategy = static_cast<workloads::Strategy>(state.range(0));
+  cluster::SystemConfig cfg = cluster::SystemConfig::table2();
+  cfg.dram_bytes = 4u << 20;
+  for (auto _ : state) {
+    auto res = workloads::run_microbench(strategy, cfg);
+    benchmark::DoNotOptimize(res.target_completion);
+  }
+}
+BENCHMARK(BM_FullMicrobench)
+    ->Arg(static_cast<int>(workloads::Strategy::kHdn))
+    ->Arg(static_cast<int>(workloads::Strategy::kGds))
+    ->Arg(static_cast<int>(workloads::Strategy::kGpuTn))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,10 @@
+// Table 2: the simulation configuration in force for all experiments.
+#include <cstdio>
+
+#include "cluster/config.hpp"
+
+int main() {
+  std::printf("Table 2: GPU-TN simulation configuration\n\n%s",
+              gputn::cluster::SystemConfig::table2().describe().c_str());
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Table 3: the six CNTK deep-learning workloads and their Allreduce
+// characteristics (synthesized traces calibrated to the published table;
+// see DESIGN.md for the substitution).
+#include <cstdio>
+
+#include "workloads/dl_traces.hpp"
+
+int main() {
+  std::printf("Table 3: CNTK workload description\n\n%s",
+              gputn::workloads::format_table3().c_str());
+  std::printf(
+      "\n%%Blocked = share of time blocked on Allreduce under the HDN\n"
+      "baseline; Reductions = total reduction calls (both from the paper's\n"
+      "Table 3). The bucket-size mix per workload is synthesized; see\n"
+      "src/workloads/dl_traces.cpp.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Example: ring Allreduce on a cluster of GPUs (Figure 2 / §5.4.1).
+//
+// Sums an fp32 vector across all nodes with the libNBC-style ring schedule
+// under each strategy and verifies every rank ends with the exact
+// sequential reduction. With GPU-TN the whole collective runs inside one
+// persistent kernel: work-groups reduce arriving slices and trigger the
+// next hop's puts from inside the kernel.
+//
+// Usage: allreduce_ring [nodes] [megabytes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/allreduce.hpp"
+
+using namespace gputn;
+using namespace gputn::workloads;
+
+int main(int argc, char** argv) {
+  int nodes = argc > 1 ? std::atoi(argv[1]) : 8;
+  double mb = argc > 2 ? std::atof(argv[2]) : 8.0;
+  if (nodes < 2 || mb <= 0) {
+    std::fprintf(stderr, "usage: %s [nodes>=2] [megabytes>0]\n", argv[0]);
+    return 1;
+  }
+  std::size_t elements = static_cast<std::size_t>(mb * 1024 * 1024 / 4);
+
+  std::printf("Ring Allreduce: %.1f MB fp32 sum across %d nodes\n\n", mb,
+              nodes);
+  std::printf("%-8s %14s %16s %10s\n", "strategy", "total (us)",
+              "alg bandwidth", "result");
+
+  for (Strategy s : kAllStrategies) {
+    AllreduceConfig cfg;
+    cfg.strategy = s;
+    cfg.nodes = nodes;
+    cfg.elements = elements;
+    AllreduceResult res = run_allreduce(cfg);
+    // Algorithmic bandwidth: 2*(N-1)/N * bytes / time (the standard metric).
+    double alg_bw = 2.0 * (nodes - 1) / nodes *
+                    static_cast<double>(elements) * 4.0 /
+                    sim::to_sec(res.total_time) / 1e9;
+    std::printf("%-8s %14.0f %13.2f GB/s %10s\n", strategy_name(s),
+                sim::to_us(res.total_time), alg_bw,
+                res.correct ? "exact" : "MISMATCH");
+  }
+  std::printf(
+      "\nEvery rank's vector equals the sequential sum (fp32-exact inputs).\n"
+      "Note GPU-TN's bandwidth edge: slices pipeline compute with transfer\n"
+      "and no kernel boundaries separate the %d ring steps.\n",
+      2 * (nodes - 1));
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "cluster/cluster.hpp"
+
+#include <string>
+
+namespace gputn::cluster {
+
+Node::Node(sim::Simulator& sim, net::Fabric& fabric,
+           const SystemConfig& config)
+    : memory_(config.dram_bytes),
+      cpu_(sim, memory_, config.cpu),
+      gpu_(sim, memory_, config.gpu),
+      nic_(sim, memory_, fabric, config.nic),
+      triggered_(sim, nic_, memory_, config.triggered),
+      rt_(sim, cpu_, gpu_, nic_, triggered_, memory_) {}
+
+Cluster::Cluster(sim::Simulator& sim, SystemConfig config, int node_count)
+    : sim_(&sim), config_(config), fabric_(sim, config.fabric) {
+  nodes_.reserve(node_count);
+  for (int i = 0; i < node_count; ++i) {
+    nodes_.push_back(std::make_unique<Node>(sim, fabric_, config_));
+  }
+}
+
+void Cluster::enable_tracing(sim::TraceRecorder& trace) {
+  for (int i = 0; i < size(); ++i) {
+    std::string prefix = "node" + std::to_string(i);
+    node(i).gpu().set_trace(&trace, prefix + ".gpu");
+    node(i).nic().set_trace(&trace, prefix + ".nic");
+    node(i).triggered().set_trace(&trace, prefix + ".trig");
+  }
+}
+
+Cluster::~Cluster() {
+  // Service loops (NIC engines, GPU front-ends, link pumps) hold references
+  // into the nodes; destroy their frames before the nodes die.
+  sim_->reap_processes();
+}
+
+}  // namespace gputn::cluster

@@ -1,0 +1,71 @@
+// Node and Cluster assembly: each node is a coherent SoC of {CPU, GPU, NIC +
+// triggered-op extension, shared memory} (§5.1); nodes connect through the
+// star fabric.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "core/triggered.hpp"
+#include "cpu/cpu.hpp"
+#include "gpu/gpu.hpp"
+#include "mem/memory.hpp"
+#include "net/fabric.hpp"
+#include "nic/nic.hpp"
+#include "rt/runtime.hpp"
+#include "sim/trace.hpp"
+
+namespace gputn::cluster {
+
+class Node {
+ public:
+  Node(sim::Simulator& sim, net::Fabric& fabric, const SystemConfig& config);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  net::NodeId id() const { return nic_.node_id(); }
+  mem::Memory& memory() { return memory_; }
+  cpu::Cpu& cpu() { return cpu_; }
+  gpu::Gpu& gpu() { return gpu_; }
+  nic::Nic& nic() { return nic_; }
+  core::TriggeredNic& triggered() { return triggered_; }
+  rt::NodeRuntime& rt() { return rt_; }
+
+ private:
+  mem::Memory memory_;
+  cpu::Cpu cpu_;
+  gpu::Gpu gpu_;
+  nic::Nic nic_;
+  core::TriggeredNic triggered_;
+  rt::NodeRuntime rt_;
+};
+
+class Cluster {
+ public:
+  /// Build `node_count` identical nodes on `sim` with `config`.
+  Cluster(sim::Simulator& sim, SystemConfig config, int node_count);
+  /// Reaps all service-loop processes so component destructors run safely.
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulator& simulator() { return *sim_; }
+  const SystemConfig& config() const { return config_; }
+  net::Fabric& fabric() { return fabric_; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  /// Attach a trace recorder to every node's GPU, NIC, and trigger unit
+  /// (lanes "node<i>.gpu" / ".nic" / ".trig").
+  void enable_tracing(sim::TraceRecorder& trace);
+  Node& node(int i) { return *nodes_.at(i); }
+  rt::NodeRuntime& rt(int i) { return node(i).rt(); }
+
+ private:
+  sim::Simulator* sim_;
+  SystemConfig config_;
+  net::Fabric fabric_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace gputn::cluster

@@ -1,0 +1,54 @@
+#include "cluster/config.hpp"
+
+#include <cstdio>
+
+namespace gputn::cluster {
+
+SystemConfig SystemConfig::table2() {
+  SystemConfig c;
+  // CPU: 8-wide OOO, 4 GHz, 8 cores; DDR4 8 channels 2133 MHz.
+  c.cpu.cores = 8;
+  c.cpu.clock_ghz = 4.0;
+  // GPU: 1 GHz, 24 compute units; 1.5 us launch / 1.5 us teardown (§5.1).
+  c.gpu.cu_count = 24;
+  c.gpu.clock_ghz = 1.0;
+  c.gpu.launch_latency = sim::us(1.5);
+  c.gpu.teardown_latency = sim::us(1.5);
+  // Network: 100 ns link, 100 ns switch, 100 Gbps, star topology.
+  c.fabric.bandwidth = sim::Bandwidth::gbps(100);
+  c.fabric.link_latency = sim::ns(100);
+  c.fabric.switch_latency = sim::ns(100);
+  // Triggered ops: associative lookup, 16 simultaneous entries (§3.3) —
+  // workloads that need more rounds in flight use the hash variant.
+  c.triggered.table.lookup = core::LookupKind::kAssociative;
+  c.triggered.table.associative_entries = 16;
+  return c;
+}
+
+std::string SystemConfig::describe() const {
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof(buf),
+      "CPU:      %d cores @ %.1f GHz, %.0f flops/core/cycle, mem %.1f GB/s\n"
+      "GPU:      %d CUs @ %.1f GHz, launch %.2f us, teardown %.2f us\n"
+      "NIC:      doorbell %.0f ns, cmd fetch %.0f ns, rx pipe %.0f ns\n"
+      "Trigger:  lookup=%s, entries=%d, update %.0f ns\n"
+      "Network:  %.0f Gbps, link %.0f ns, switch %.0f ns, MTU %u B, star\n"
+      "DRAM:     %llu MiB per node\n",
+      cpu.cores, cpu.clock_ghz, cpu.flops_per_core_per_cycle,
+      cpu.mem_bandwidth.bytes_per_second() / 1e9, gpu.cu_count, gpu.clock_ghz,
+      sim::to_us(gpu.launch_latency), sim::to_us(gpu.teardown_latency),
+      sim::to_ns(nic.doorbell_latency), sim::to_ns(nic.cmd_fetch),
+      sim::to_ns(nic.rx_pipeline),
+      triggered.table.lookup == core::LookupKind::kAssociative ? "associative"
+      : triggered.table.lookup == core::LookupKind::kHash      ? "hash"
+                                                                : "linked-list",
+      triggered.table.associative_entries, sim::to_ns(triggered.update_cost),
+      fabric.bandwidth.bytes_per_second() * 8 / 1e9,
+      sim::to_ns(fabric.link_latency), sim::to_ns(fabric.switch_latency),
+      fabric.mtu_bytes,
+      static_cast<unsigned long long>(dram_bytes >> 20));
+  return buf;
+}
+
+}  // namespace gputn::cluster

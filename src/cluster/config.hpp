@@ -1,0 +1,33 @@
+// System configuration (Table 2) bundling all component configs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/triggered.hpp"
+#include "cpu/cpu.hpp"
+#include "gpu/gpu.hpp"
+#include "net/fabric.hpp"
+#include "nic/nic.hpp"
+
+namespace gputn::cluster {
+
+struct SystemConfig {
+  cpu::CpuConfig cpu;
+  gpu::GpuConfig gpu;
+  nic::NicConfig nic;
+  core::TriggeredNicConfig triggered;
+  net::FabricConfig fabric;
+  /// Backing DRAM per node. Sized for the largest workload; raise for
+  /// bigger experiments.
+  std::uint64_t dram_bytes = 64ull << 20;
+
+  /// The paper's simulation configuration (Table 2): returns the defaults,
+  /// spelled out for discoverability.
+  static SystemConfig table2();
+
+  /// Human-readable dump (bench/tab02_config prints this).
+  std::string describe() const;
+};
+
+}  // namespace gputn::cluster

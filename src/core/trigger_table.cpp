@@ -1,0 +1,139 @@
+#include "core/trigger_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gputn::core {
+
+TriggerTable::TriggerTable(TriggerTableConfig config) : config_(config) {}
+
+sim::Tick TriggerTable::lookup_cost(std::size_t position_in_list) const {
+  switch (config_.lookup) {
+    case LookupKind::kAssociative:
+      return config_.associative_cost;
+    case LookupKind::kHash:
+      return config_.hash_cost;
+    case LookupKind::kLinkedList:
+      return static_cast<sim::Tick>(position_in_list + 1) *
+             config_.list_hop_cost;
+  }
+  return 0;
+}
+
+TriggerTable::LookupResult TriggerTable::find_or_create(Tag tag) {
+  auto it = index_.find(tag);
+  if (it != index_.end()) {
+    std::size_t pos = static_cast<std::size_t>(
+        std::distance(counters_.begin(), it->second));
+    return {&*it->second, lookup_cost(pos), false};
+  }
+  if (config_.lookup == LookupKind::kAssociative &&
+      static_cast<int>(counters_.size()) >= config_.associative_entries) {
+    throw std::runtime_error(
+        "trigger table: associative lookup capacity exceeded (" +
+        std::to_string(config_.associative_entries) + " entries)");
+  }
+  counters_.push_back(TriggerCounter{tag, 0, /*orphan=*/true});
+  auto inserted = std::prev(counters_.end());
+  index_.emplace(tag, inserted);
+  ++orphans_created_;
+  // A miss walks the whole list in the linked-list variant.
+  return {&*inserted, lookup_cost(counters_.size() - 1), true};
+}
+
+TriggerCounter* TriggerTable::find(Tag tag) {
+  auto it = index_.find(tag);
+  return it != index_.end() ? &*it->second : nullptr;
+}
+
+sim::Tick TriggerTable::probe_cost(Tag tag) const {
+  auto it = index_.find(tag);
+  if (it != index_.end()) {
+    std::size_t pos = static_cast<std::size_t>(
+        std::distance(counters_.begin(),
+                      std::list<TriggerCounter>::const_iterator(it->second)));
+    return lookup_cost(pos);
+  }
+  return lookup_cost(counters_.empty() ? 0 : counters_.size() - 1);
+}
+
+void TriggerTable::register_op(TriggeredOp op,
+                               std::vector<nic::Command>& fired) {
+  op.sequence = next_sequence_++;
+  std::uint64_t current = 0;
+  auto it = index_.find(op.tag);
+  if (it == index_.end()) {
+    if (config_.lookup == LookupKind::kAssociative &&
+        static_cast<int>(counters_.size()) >= config_.associative_entries) {
+      throw std::runtime_error(
+          "trigger table: associative lookup capacity exceeded (" +
+          std::to_string(config_.associative_entries) + " entries)");
+    }
+    counters_.push_back(TriggerCounter{op.tag, 0, /*orphan=*/false});
+    index_.emplace(op.tag, std::prev(counters_.end()));
+  } else {
+    current = it->second->count;
+  }
+  // §3.2: if a GPU already advanced this counter past the threshold, the
+  // operation executes immediately on registration.
+  if (current >= op.threshold) {
+    op.fired = true;
+    ++ops_fired_;
+    if (op.op.has_value()) fired.push_back(*op.op);
+    for (Tag next : op.chain) {
+      auto r = find_or_create(next);
+      ++r.counter->count;
+      collect_ready(next, r.counter->count, fired, nullptr, 0);
+    }
+  }
+  ops_.push_back(std::move(op));
+}
+
+void TriggerTable::collect_ready(Tag tag, std::uint64_t count,
+                                 std::vector<nic::Command>& fired,
+                                 int* chain_hops, int depth) {
+  if (depth > 64) {
+    throw std::runtime_error("trigger chain depth exceeds 64 (cycle?)");
+  }
+  // Fire in registration order so multi-op-per-tag schedules are ordered.
+  // Chains may register new firings while we scan; iterate by index.
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].fired || ops_[i].tag != tag || count < ops_[i].threshold) {
+      continue;
+    }
+    ops_[i].fired = true;
+    ++ops_fired_;
+    if (ops_[i].op.has_value()) fired.push_back(*ops_[i].op);
+    // Cascade chained counter increments (Portals triggered CTInc).
+    std::vector<Tag> chain = ops_[i].chain;  // copy: recursion may realloc
+    for (Tag next : chain) {
+      if (chain_hops != nullptr) ++*chain_hops;
+      auto r = find_or_create(next);
+      ++r.counter->count;
+      collect_ready(next, r.counter->count, fired, chain_hops, depth + 1);
+    }
+  }
+}
+
+void TriggerTable::increment(TriggerCounter& counter,
+                             std::vector<nic::Command>& fired,
+                             int* chain_hops) {
+  ++counter.count;
+  collect_ready(counter.tag, counter.count, fired, chain_hops, 0);
+}
+
+void TriggerTable::release(Tag tag) {
+  auto it = index_.find(tag);
+  if (it == index_.end()) return;
+  counters_.erase(it->second);
+  index_.erase(it);
+  std::erase_if(ops_, [tag](const TriggeredOp& op) { return op.tag == tag; });
+}
+
+int TriggerTable::pending_ops() const {
+  return static_cast<int>(
+      std::count_if(ops_.begin(), ops_.end(),
+                    [](const TriggeredOp& op) { return !op.fired; }));
+}
+
+}  // namespace gputn::core

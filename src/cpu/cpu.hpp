@@ -1,0 +1,102 @@
+// Host CPU model.
+//
+// Host code runs as simulator coroutines; the Cpu object models aggregate
+// compute throughput (Table 2: 8-wide OOO, 4 GHz, 8 cores) and the software
+// costs of the networking runtime (message setup, posting, polling) that the
+// paper's strategies pay in different places.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/memory.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+
+namespace gputn::cpu {
+
+struct CpuConfig {
+  int cores = 8;             // Table 2
+  double clock_ghz = 4.0;    // Table 2
+  /// Sustained flops per core per cycle (8-wide OOO with FMA SIMD).
+  double flops_per_core_per_cycle = 16.0;
+  /// Parallel-efficiency factor for OpenMP-style loops.
+  double parallel_efficiency = 0.85;
+  /// Aggregate DRAM bandwidth (Table 2: DDR4, 8 channels, 2133 MHz).
+  sim::Bandwidth mem_bandwidth = sim::Bandwidth::gibps(127);
+  /// L3 capacity and bandwidth (Table 2: 16 MB L3). Working sets that fit
+  /// in L3 stream much faster — this is what makes the CPU competitive on
+  /// small problems (Figures 9 and 10 crossovers).
+  std::uint64_t l3_bytes = 16ull << 20;
+  sim::Bandwidth l3_bandwidth = sim::Bandwidth::gibps(400);
+  /// Per-operation bytes below which the L3 tier applies. Streaming
+  /// kernels share the L3 with the rest of the working set (vectors, MPI
+  /// internals, DMA-fresh lines), so only ops well under the capacity see
+  /// cache-speed service; 1/8 of L3 is a standard effective-residency rule.
+  std::uint64_t l3_tier_bytes = 2ull << 20;
+  /// Two-sided MPI staging-copy bandwidth (per side). The pure-CPU baseline
+  /// pays these eager-protocol bounce-buffer copies; GPU configurations use
+  /// peer-to-peer RDMA (GPUDirect-style) and do not (§1).
+  sim::Bandwidth copy_bandwidth = sim::Bandwidth::gibps(80);
+  /// Software cost to build + post a two-sided message (full network stack).
+  sim::Tick send_stack_cost = sim::ns(350);
+  /// Software cost to post a receive.
+  sim::Tick recv_stack_cost = sim::ns(150);
+  /// Software cost to construct + register a one-sided put / triggered op
+  /// ("partial network stack" of Table 1: packet build off the critical
+  /// path).
+  sim::Tick post_cost = sim::ns(250);
+  /// Driver-side cost to enqueue a kernel to the GPU stream.
+  sim::Tick kernel_enqueue_cost = sim::ns(200);
+  /// Interval between polls when host code spins on a memory flag.
+  sim::Tick poll_interval = sim::ns(60);
+};
+
+class Cpu {
+ public:
+  Cpu(sim::Simulator& sim, mem::Memory& memory, CpuConfig config)
+      : sim_(&sim), mem_(&memory), config_(config) {}
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  const CpuConfig& config() const { return config_; }
+  sim::Simulator& simulator() { return *sim_; }
+  mem::Memory& memory() { return *mem_; }
+
+  /// Busy the host for `t` (single thread).
+  sim::Task<> compute(sim::Tick t) { co_await sim_->delay(t); }
+
+  /// Single-threaded flop-bound phase.
+  sim::Task<> compute_flops_serial(double flops);
+
+  /// OpenMP-style parallel phase: `flops` of arithmetic touching `bytes` of
+  /// memory, spread across all cores; takes the max of the compute-bound
+  /// and bandwidth-bound times (roofline).
+  sim::Task<> compute_parallel(double flops, std::uint64_t bytes);
+
+  /// Spin until *addr >= value, polling at the configured interval.
+  sim::Task<> wait_value_ge(mem::Addr addr, std::uint64_t value);
+
+  /// Streaming time for `bytes` with the L3/DRAM blend: the first
+  /// `l3_tier_bytes` are served at L3 speed, the remainder at `miss_bw`.
+  /// Continuous in `bytes`, so scaling curves have no cliff at the tier.
+  sim::Tick tiered_stream_time(std::uint64_t bytes,
+                               const sim::Bandwidth& miss_bw) const;
+
+  /// Time compute_parallel would take (for closed-form sanity checks).
+  sim::Tick parallel_time(double flops, std::uint64_t bytes) const;
+
+  /// Host staging copy (eager-protocol bounce buffer) of `bytes`; uses L3
+  /// bandwidth when the buffer fits in L3.
+  sim::Task<> staging_copy(std::uint64_t bytes);
+  sim::Tick staging_copy_time(std::uint64_t bytes) const;
+
+  sim::StatRegistry& stats() { return stats_; }
+
+ private:
+  sim::Simulator* sim_;
+  mem::Memory* mem_;
+  CpuConfig config_;
+  sim::StatRegistry stats_;
+};
+
+}  // namespace gputn::cpu

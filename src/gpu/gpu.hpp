@@ -1,0 +1,231 @@
+// GPU model: front-end command processor, compute units, work-group
+// execution, and the device-side memory operations GPU-TN relies on.
+//
+// Kernels are written as C++ coroutines executed once per work-group (the
+// paper triggers at work-item, work-group, and kernel granularity — a
+// work-group coroutine can model all three since work-items within a group
+// run effectively in lockstep and trigger stores are issued by the group
+// leader or by modelled per-item loops; see §4.2).
+//
+// The front-end processes an in-order stream of operations, mirroring how
+// GDS integrates network initiation into CUDA streams (§5.1): a stream entry
+// is a kernel dispatch, a pre-posted network op whose doorbell the front-end
+// rings when reached (GDS put), or a wait-on-flag (GDS wait).
+//
+// Memory-model checking (§4.2.6): a work-group that stores to the trigger
+// address while it has unfenced buffer writes outstanding is detected and
+// counted — this is the correctness hazard the paper's release-fence
+// discussion warns about.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "gpu/launch_model.hpp"
+#include "mem/memory.hpp"
+#include "nic/nic.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+#include "sim/sync.hpp"
+
+namespace gputn::gpu {
+
+struct GpuConfig {
+  int cu_count = 24;                 // Table 2
+  /// Resident work-groups per CU. Occupancy > 1 lets persistent kernels
+  /// oversubscribe for latency hiding (polling work-groups do not consume
+  /// compute); a kernel with more work-groups than cu_count *
+  /// max_wgs_per_cu that synchronizes across work-groups will livelock —
+  /// the real persistent-kernel constraint, surfaced by the model.
+  int max_wgs_per_cu = 1;
+  double clock_ghz = 1.0;            // Table 2
+  double flops_per_cu_per_cycle = 128.0;  // 64 lanes x fma
+  /// Aggregate GPU memory bandwidth for bandwidth-bound kernel phases.
+  sim::Bandwidth mem_bandwidth = sim::Bandwidth::gibps(320);
+  sim::Tick launch_latency = sim::us(1.5);    // §5.1 calibration
+  sim::Tick teardown_latency = sim::us(1.5);  // §5.1 calibration
+  sim::Tick wg_dispatch_latency = sim::ns(10);
+  sim::Tick barrier_latency = sim::ns(30);
+  /// Release fence to system scope (flush/bypass GPU caches, §4.2.6).
+  sim::Tick fence_system_latency = sim::ns(60);
+  /// System-scope atomic store (cache-bypassing; reaches MMIO or DRAM).
+  sim::Tick store_system_latency = sim::ns(80);
+  sim::Tick load_system_latency = sim::ns(120);
+  /// Interval between polls when a kernel spins on a memory flag.
+  sim::Tick poll_interval = sim::ns(100);
+  /// Front-end doorbell ring for GDS stream network ops.
+  sim::Tick gds_doorbell_latency = sim::ns(50);
+};
+
+class Gpu;
+
+/// Per-work-group device execution context (the kernel API of Figure 7).
+class WorkGroupCtx {
+ public:
+  WorkGroupCtx(Gpu& gpu, int wg_id, int num_wgs, int items_per_wg)
+      : gpu_(&gpu), wg_id_(wg_id), num_wgs_(num_wgs),
+        items_per_wg_(items_per_wg) {}
+
+  int wg_id() const { return wg_id_; }
+  int num_wgs() const { return num_wgs_; }
+  int items_per_wg() const { return items_per_wg_; }
+  /// Global id of this group's leader work-item.
+  int leader_global_id() const { return wg_id_ * items_per_wg_; }
+
+  Gpu& gpu() { return *gpu_; }
+  mem::Memory& mem();
+
+  // -- Timed device operations --------------------------------------------
+  /// Occupy this work-group's compute unit for `t`.
+  sim::Task<> compute(sim::Tick t);
+  /// Flop-bound phase executed by this work-group.
+  sim::Task<> compute_flops(double flops);
+  /// Memory-bandwidth-bound phase touching `bytes` (per work-group share).
+  sim::Task<> compute_mem(std::uint64_t bytes);
+  /// Work-group barrier (§4.2: leader triggers after the barrier).
+  sim::Task<> barrier();
+  /// Divergent control flow: a wavefront taking `paths` distinct branch
+  /// directions executes them serially under an execution mask (§2.1.1) —
+  /// total time is paths * per_path. This is the §5.1.1 cost that makes
+  /// serial packet construction (GNN) expensive on a GPU.
+  sim::Task<> diverged(int paths, sim::Tick per_path);
+  /// Release fence to system scope: makes prior buffer writes visible to
+  /// the NIC (§4.2.6). Clears the unfenced-writes hazard state.
+  sim::Task<> fence_system();
+  /// System-scope atomic store; routes to MMIO (trigger address) or DRAM.
+  /// Firing a trigger with unfenced buffer writes is counted as a memory-
+  /// model hazard.
+  sim::Task<> store_system(mem::Addr addr, std::uint64_t value);
+  /// System-scope acquire load.
+  sim::Task<std::uint64_t> load_system(mem::Addr addr);
+  /// Spin (with the configured poll interval) until *addr >= value.
+  sim::Task<> wait_value_ge(mem::Addr addr, std::uint64_t value);
+
+  // -- Functional buffer access (time accounted via compute_* phases) -----
+  /// Device writes to global memory: tracked for fence-hazard detection.
+  template <typename T>
+  void store_data(mem::Addr addr, const T& v) {
+    mem().store(addr, v);
+    dirty_ = true;
+  }
+  template <typename T>
+  void write_data(mem::Addr addr, std::span<const T> src) {
+    mem().write(addr, src.data(), src.size_bytes());
+    dirty_ = true;
+  }
+  template <typename T>
+  T load_data(mem::Addr addr) {
+    return mem().load<T>(addr);
+  }
+  /// Typed mutable view; mark_dirty() must accompany in-place mutation.
+  template <typename T>
+  std::span<T> view(mem::Addr addr, std::size_t count) {
+    return mem().typed<T>(addr, count);
+  }
+  void mark_dirty() { dirty_ = true; }
+  bool has_unfenced_writes() const { return dirty_; }
+
+ private:
+  friend class Gpu;
+  Gpu* gpu_;
+  int wg_id_;
+  int num_wgs_;
+  int items_per_wg_;
+  bool dirty_ = false;
+};
+
+using KernelFn = std::function<sim::Task<>(WorkGroupCtx&)>;
+
+struct KernelDesc {
+  std::string name = "kernel";
+  int num_wgs = 1;
+  int items_per_wg = 64;
+  KernelFn fn;  ///< may be empty: an empty kernel (Figure 1 study)
+};
+
+/// Timestamps and completion event for one dispatched kernel.
+struct KernelRecord {
+  explicit KernelRecord(sim::Simulator& sim) : done(sim) {}
+  sim::Event done;
+  sim::Tick enqueue_time = -1;
+  sim::Tick launch_begin = -1;
+  sim::Tick exec_begin = -1;
+  sim::Tick exec_end = -1;
+  sim::Tick done_time = -1;
+};
+
+class Gpu {
+ public:
+  Gpu(sim::Simulator& sim, mem::Memory& memory, GpuConfig config);
+  Gpu(const Gpu&) = delete;
+  Gpu& operator=(const Gpu&) = delete;
+
+  const GpuConfig& config() const { return config_; }
+  sim::Simulator& simulator() { return *sim_; }
+  mem::Memory& memory() { return *mem_; }
+
+  /// Replace the launch model (default: FixedLaunchModel(launch_latency)).
+  void set_launch_model(std::unique_ptr<LaunchModel> model);
+
+  /// Enqueue a kernel on the (single, in-order) stream.
+  std::shared_ptr<KernelRecord> enqueue_kernel(KernelDesc desc);
+  /// Enqueue a GDS-style pre-posted network op: the front-end rings the
+  /// NIC doorbell when the stream reaches this entry (i.e. after the
+  /// preceding kernel's completion).
+  void enqueue_gds_put(nic::Nic& nic, nic::Command cmd);
+  /// Enqueue a GDS-style wait: the front-end blocks the stream until the
+  /// flag at `addr` is >= `value`.
+  void enqueue_gds_wait(mem::Addr addr, std::uint64_t value);
+
+  sim::StatRegistry& stats() { return stats_; }
+  std::uint64_t memory_model_hazards() const { return hazards_; }
+
+  /// Attach a trace recorder; kernel launch/exec/teardown spans are
+  /// emitted onto `lane`.
+  void set_trace(sim::TraceRecorder* trace, std::string lane) {
+    trace_ = trace;
+    trace_lane_ = std::move(lane);
+  }
+
+ private:
+  friend class WorkGroupCtx;
+
+  struct KernelOp {
+    KernelDesc desc;
+    std::shared_ptr<KernelRecord> record;
+  };
+  struct GdsPutOp {
+    nic::Nic* nic;
+    nic::Command cmd;
+  };
+  struct GdsWaitOp {
+    mem::Addr addr;
+    std::uint64_t value;
+  };
+  using StreamOp = std::variant<KernelOp, GdsPutOp, GdsWaitOp>;
+
+  sim::Task<> front_end_loop();
+  sim::Task<> execute_kernel(KernelOp op);
+  sim::Task<> run_work_group(const KernelDesc& desc, int wg_id,
+                             int* remaining, sim::Event* all_done);
+  void note_hazard();
+
+  sim::Simulator* sim_;
+  mem::Memory* mem_;
+  GpuConfig config_;
+  std::unique_ptr<LaunchModel> launch_model_;
+  sim::Channel<StreamOp> stream_;
+  sim::Semaphore cus_;
+  sim::StatRegistry stats_;
+  std::uint64_t hazards_ = 0;
+  sim::TraceRecorder* trace_ = nullptr;
+  std::string trace_lane_;
+  sim::Logger log_;
+};
+
+}  // namespace gputn::gpu

@@ -1,0 +1,32 @@
+#include "mem/dma.hpp"
+
+namespace gputn::mem {
+
+sim::Task<> DmaEngine::consume_time(std::uint64_t n) {
+  co_await busy_.acquire();
+  co_await sim_->delay(startup_ + bandwidth_.serialize(n));
+  bytes_moved_ += n;
+  busy_.release();
+}
+
+sim::Task<> DmaEngine::copy(Addr dst, Addr src, std::uint64_t n) {
+  co_await consume_time(n);
+  // Functional move happens at completion time.
+  auto s = mem_->bytes(src, n);
+  auto d = mem_->bytes(dst, n);
+  std::memcpy(d.data(), s.data(), n);
+}
+
+sim::Task<> DmaEngine::read_into(std::vector<std::byte>& dst, Addr src,
+                                 std::uint64_t n) {
+  co_await consume_time(n);
+  dst.resize(n);
+  mem_->read(src, dst.data(), n);
+}
+
+sim::Task<> DmaEngine::write_from(Addr dst, const std::vector<std::byte>& src) {
+  co_await consume_time(src.size());
+  mem_->write(dst, src.data(), src.size());
+}
+
+}  // namespace gputn::mem

@@ -1,0 +1,64 @@
+#include "mem/memory.hpp"
+
+#include <new>
+
+namespace gputn::mem {
+
+Memory::Memory(std::uint64_t dram_bytes) : dram_(dram_bytes) {}
+
+Addr Memory::alloc(std::uint64_t bytes, std::uint64_t align) {
+  if (align == 0 || (align & (align - 1)) != 0) {
+    throw std::invalid_argument("alignment must be a power of two");
+  }
+  Addr base = (next_ + align - 1) & ~(align - 1);
+  if (base + bytes > dram_.size()) throw std::bad_alloc();
+  next_ = base + bytes;
+  return base;
+}
+
+void Memory::check_range(Addr addr, std::size_t n) const {
+  if (is_mmio(addr)) {
+    throw std::out_of_range("functional access to MMIO window");
+  }
+  if (addr + n > dram_.size() || addr + n < addr) {
+    throw std::out_of_range("memory access out of bounds");
+  }
+}
+
+void Memory::write(Addr addr, const void* src, std::size_t n) {
+  check_range(addr, n);
+  std::memcpy(dram_.data() + addr, src, n);
+}
+
+void Memory::read(Addr addr, void* dst, std::size_t n) const {
+  check_range(addr, n);
+  std::memcpy(dst, dram_.data() + addr, n);
+}
+
+std::span<std::byte> Memory::bytes(Addr addr, std::size_t n) {
+  check_range(addr, n);
+  return {dram_.data() + addr, n};
+}
+
+std::span<const std::byte> Memory::bytes(Addr addr, std::size_t n) const {
+  check_range(addr, n);
+  return {dram_.data() + addr, n};
+}
+
+Addr Memory::map_mmio(std::uint64_t bytes, MmioHandler* handler) {
+  Addr base = next_mmio_;
+  next_mmio_ += (bytes + 4095) & ~std::uint64_t{4095};  // page-align windows
+  mmio_.emplace(base, std::make_pair(base + bytes, handler));
+  return base;
+}
+
+void Memory::mmio_store(Addr addr, std::uint64_t value) {
+  auto it = mmio_.upper_bound(addr);
+  if (it == mmio_.begin()) throw std::out_of_range("unmapped MMIO store");
+  --it;
+  auto [limit, handler] = it->second;
+  if (addr >= limit) throw std::out_of_range("unmapped MMIO store");
+  handler->on_mmio_store(addr, value);
+}
+
+}  // namespace gputn::mem

@@ -1,0 +1,77 @@
+#include "net/fabric.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace gputn::net {
+
+Fabric::Fabric(sim::Simulator& sim, FabricConfig config)
+    : sim_(&sim), config_(config), switch_(sim, config.switch_latency) {}
+
+NodeId Fabric::add_node(MessageSink* sink) {
+  NodeId id = static_cast<NodeId>(sinks_.size());
+  sinks_.push_back(sink);
+  uplinks_.push_back(std::make_unique<Link>(
+      *sim_, "up" + std::to_string(id), config_.bandwidth,
+      config_.link_latency, [this](Packet&& p) { switch_.forward(std::move(p)); }));
+  downlinks_.push_back(std::make_unique<Link>(
+      *sim_, "down" + std::to_string(id), config_.bandwidth,
+      config_.link_latency, [this, id](Packet&& p) {
+        auto flight = p.flight;
+        if (--flight->packets_remaining == 0) {
+          flight->sink->deliver(std::move(flight->msg));
+        }
+      }));
+  switch_.attach_output(id, downlinks_.back().get());
+  return id;
+}
+
+void Fabric::send(Message&& msg) {
+  if (msg.src < 0 || msg.src >= node_count() || msg.dst < 0 ||
+      msg.dst >= node_count()) {
+    throw std::out_of_range("fabric: send with unknown src/dst node");
+  }
+  ++messages_;
+  std::uint64_t wire = config_.header_bytes + msg.payload_bytes();
+  bytes_ += wire;
+
+  auto flight = std::make_shared<MessageInFlight>();
+  flight->sink = sinks_[msg.dst];
+  NodeId src = msg.src;
+  flight->msg = std::move(msg);
+
+  // Packetize: first packet carries the header; each packet adds the
+  // per-packet overhead on the wire.
+  std::uint64_t remaining = wire;
+  int packets = 0;
+  Link* up = uplinks_[src].get();
+  std::vector<Packet> pkts;
+  while (remaining > 0) {
+    std::uint64_t chunk = remaining < config_.mtu_bytes ? remaining
+                                                        : config_.mtu_bytes;
+    remaining -= chunk;
+    Packet p;
+    p.flight = flight;
+    p.wire_bytes = static_cast<std::uint32_t>(chunk) + config_.per_packet_overhead;
+    p.last = remaining == 0;
+    pkts.push_back(std::move(p));
+    ++packets;
+  }
+  flight->packets_remaining = packets;
+  for (auto& p : pkts) up->submit(std::move(p));
+}
+
+sim::Tick Fabric::ideal_latency(std::uint64_t payload_bytes) const {
+  std::uint64_t wire = config_.header_bytes + payload_bytes;
+  // Total serialization on one link (packets pipeline across hops), plus the
+  // first packet's serialization on the second link, plus per-hop latencies.
+  std::uint64_t first_pkt =
+      std::min<std::uint64_t>(wire, config_.mtu_bytes) + config_.per_packet_overhead;
+  std::uint64_t packets = (wire + config_.mtu_bytes - 1) / config_.mtu_bytes;
+  std::uint64_t total_wire = wire + packets * config_.per_packet_overhead;
+  return config_.bandwidth.serialize(total_wire) +
+         config_.bandwidth.serialize(first_pkt) + 2 * config_.link_latency +
+         config_.switch_latency;
+}
+
+}  // namespace gputn::net

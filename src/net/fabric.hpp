@@ -1,0 +1,74 @@
+// Network fabric: ties NICs, links, and the switch together.
+//
+// Topology (Table 2): star — every node has an uplink to a single central
+// switch and a downlink from it. A message is packetized at the transmitter
+// into MTU-sized packets which pipeline through uplink -> switch -> downlink;
+// the destination sink receives the whole Message when the last packet
+// lands. Per-path FIFO ordering is guaranteed by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/message.hpp"
+#include "net/switch.hpp"
+#include "sim/stats.hpp"
+
+namespace gputn::net {
+
+struct FabricConfig {
+  sim::Bandwidth bandwidth = sim::Bandwidth::gbps(100);  // Table 2
+  sim::Tick link_latency = sim::ns(100);                 // Table 2
+  sim::Tick switch_latency = sim::ns(100);               // Table 2
+  std::uint32_t mtu_bytes = 4096;
+  std::uint32_t header_bytes = 64;  ///< wire overhead per message header
+  std::uint32_t per_packet_overhead = 16;
+};
+
+/// State shared by all packets of one in-flight message.
+struct MessageInFlight {
+  Message msg;
+  int packets_remaining = 0;
+  MessageSink* sink = nullptr;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator& sim, FabricConfig config);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Register a node's receive sink; returns its NodeId. All nodes must be
+  /// added before the first send.
+  NodeId add_node(MessageSink* sink);
+
+  int node_count() const { return static_cast<int>(sinks_.size()); }
+  const FabricConfig& config() const { return config_; }
+
+  /// Hand a message to the wire. The transmitting NIC calls this after its
+  /// DMA has staged the payload; serialization contention on the uplink is
+  /// modelled by the link itself.
+  void send(Message&& msg);
+
+  /// Wire latency of a `bytes`-byte message with an idle network (useful to
+  /// sanity-check calibration in tests).
+  sim::Tick ideal_latency(std::uint64_t payload_bytes) const;
+
+  std::uint64_t messages_sent() const { return messages_; }
+  std::uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  sim::Simulator* sim_;
+  FabricConfig config_;
+  Switch switch_;
+  // Per node: uplink (node -> switch) and downlink (switch -> node).
+  std::vector<std::unique_ptr<Link>> uplinks_;
+  std::vector<std::unique_ptr<Link>> downlinks_;
+  std::vector<MessageSink*> sinks_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace gputn::net

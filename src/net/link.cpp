@@ -1,0 +1,33 @@
+#include "net/link.hpp"
+
+#include <utility>
+
+namespace gputn::net {
+
+Link::Link(sim::Simulator& sim, std::string name, sim::Bandwidth bandwidth,
+           sim::Tick propagation, PacketFn downstream)
+    : sim_(&sim),
+      name_(std::move(name)),
+      bandwidth_(bandwidth),
+      propagation_(propagation),
+      downstream_(std::move(downstream)),
+      queue_(sim) {
+  sim_->spawn(pump(), "link:" + name_);
+}
+
+void Link::submit(Packet&& p) { queue_.push(std::move(p)); }
+
+sim::Task<> Link::pump() {
+  for (;;) {
+    Packet p = co_await queue_.pop();
+    co_await sim_->delay(bandwidth_.serialize(p.wire_bytes));
+    bytes_ += p.wire_bytes;
+    ++packets_;
+    // Propagation overlaps with the next packet's serialization.
+    auto fn = downstream_;
+    sim_->schedule_in(propagation_,
+                      [fn, p = std::move(p)]() mutable { fn(std::move(p)); });
+  }
+}
+
+}  // namespace gputn::net

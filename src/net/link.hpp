@@ -1,0 +1,59 @@
+// Point-to-point link with serialization (occupancy) and propagation delay.
+//
+// Packets entering the link queue FIFO on the transmitter: each occupies the
+// link for `bytes / bandwidth`, then propagates for a fixed latency during
+// which the next packet may already be serializing (standard pipelined wire
+// model). The link hands packets to a downstream callback (switch input or
+// NIC receive path).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/sync.hpp"
+#include "sim/units.hpp"
+
+namespace gputn::net {
+
+struct Packet;
+using PacketFn = std::function<void(Packet&&)>;
+
+/// In-flight fragment of a Message. The shared state owns the full message;
+/// the last packet to arrive delivers it.
+struct MessageInFlight;
+
+struct Packet {
+  std::shared_ptr<MessageInFlight> flight;
+  std::uint32_t wire_bytes = 0;
+  bool last = false;
+};
+
+class Link {
+ public:
+  Link(sim::Simulator& sim, std::string name, sim::Bandwidth bandwidth,
+       sim::Tick propagation, PacketFn downstream);
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Enqueue a packet for transmission (non-blocking; FIFO).
+  void submit(Packet&& p);
+
+  std::uint64_t bytes_transmitted() const { return bytes_; }
+  std::uint64_t packets_transmitted() const { return packets_; }
+
+ private:
+  sim::Task<> pump();
+
+  sim::Simulator* sim_;
+  std::string name_;
+  sim::Bandwidth bandwidth_;
+  sim::Tick propagation_;
+  PacketFn downstream_;
+  sim::Channel<Packet> queue_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace gputn::net

@@ -1,0 +1,38 @@
+// Wire message: what NICs exchange over the fabric.
+//
+// The network layer is deliberately dumb: it moves a fixed-size header plus
+// an opaque payload from one node to another. The four 64-bit header words
+// are interpreted by the NIC protocol layer (nic/nic.hpp); the fabric never
+// looks at them. Keeping a concrete struct (rather than type erasure) keeps
+// hot-path allocations to the payload vector only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gputn::net {
+
+using NodeId = int;
+
+struct Message {
+  NodeId src = -1;
+  NodeId dst = -1;
+  std::uint32_t kind = 0;  ///< NIC-defined opcode.
+  /// NIC-defined header words (e.g. remote address, completion flag
+  /// address, match tag, byte count). Six words cover the largest control
+  /// message (the rendezvous pull request).
+  std::uint64_t h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0, h5 = 0;
+  std::vector<std::byte> payload;
+
+  std::uint64_t payload_bytes() const { return payload.size(); }
+};
+
+/// Destination-side receiver; the NIC implements this.
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual void deliver(Message&& msg) = 0;
+};
+
+}  // namespace gputn::net

@@ -1,0 +1,28 @@
+#include "net/switch.hpp"
+
+#include "net/fabric.hpp"
+
+#include <stdexcept>
+
+namespace gputn::net {
+
+void Switch::attach_output(NodeId id, Link* out) {
+  if (id != static_cast<NodeId>(outputs_.size())) {
+    throw std::logic_error("switch outputs must be attached in node order");
+  }
+  outputs_.push_back(out);
+}
+
+void Switch::forward(Packet&& p) {
+  NodeId dst = p.flight->msg.dst;
+  if (dst < 0 || dst >= static_cast<NodeId>(outputs_.size())) {
+    throw std::out_of_range("switch: packet for unknown node");
+  }
+  ++forwarded_;
+  Link* out = outputs_[dst];
+  sim_->schedule_in(latency_, [out, p = std::move(p)]() mutable {
+    out->submit(std::move(p));
+  });
+}
+
+}  // namespace gputn::net

@@ -1,0 +1,38 @@
+// Star-topology switch (Table 2: single switch, 100 ns per hop).
+//
+// The switch models an ideal crossbar: each arriving packet is forwarded to
+// the destination's output link after a fixed forwarding latency. Output
+// contention is resolved by the output link's serialization FIFO.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/message.hpp"
+
+namespace gputn::net {
+
+class Switch {
+ public:
+  Switch(sim::Simulator& sim, sim::Tick forwarding_latency)
+      : sim_(&sim), latency_(forwarding_latency) {}
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
+  /// Register the output link toward node `id` (index == id).
+  void attach_output(NodeId id, Link* out);
+
+  /// Entry point for packets arriving from any input link.
+  void forward(Packet&& p);
+
+  std::uint64_t packets_forwarded() const { return forwarded_; }
+
+ private:
+  sim::Simulator* sim_;
+  sim::Tick latency_;
+  std::vector<Link*> outputs_;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace gputn::net

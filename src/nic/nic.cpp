@@ -1,0 +1,318 @@
+#include "nic/nic.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace gputn::nic {
+
+Nic::Nic(sim::Simulator& sim, mem::Memory& memory, net::Fabric& fabric,
+         NicConfig config)
+    : sim_(&sim),
+      mem_(&memory),
+      fabric_(&fabric),
+      config_(config),
+      node_id_(fabric.add_node(this)),
+      cmd_queue_(sim),
+      rx_queue_(sim),
+      tx_dma_(sim, memory, config.dma_bandwidth, config.dma_startup),
+      rx_dma_(sim, memory, config.dma_bandwidth, config.dma_startup),
+      cq_(sim),
+      log_("nic" + std::to_string(node_id_), sim.now_ptr()) {
+  sim_->spawn(tx_loop(), log_.component() + ".tx");
+  sim_->spawn(rx_loop(), log_.component() + ".rx");
+}
+
+void Nic::ring_doorbell(Command cmd) {
+  ++stats_.counter("doorbells");
+  sim_->schedule_in(config_.doorbell_latency, [this, cmd = std::move(cmd)] {
+    cmd_queue_.push(cmd);
+  });
+}
+
+void Nic::enqueue_internal(Command cmd) {
+  ++stats_.counter("internal_cmds");
+  cmd_queue_.push(std::move(cmd));
+}
+
+void Nic::issue_rndv_pull(const PendingRts& rts, const RecvDesc& r) {
+  if (rts.bytes > r.max_bytes) {
+    throw std::runtime_error("recv buffer too small for rendezvous send");
+  }
+  ++stats_.counter("rendezvous_pulls");
+  net::Message pull;
+  pull.src = node_id_;
+  pull.dst = rts.src;
+  pull.kind = kRndvPull;
+  pull.h0 = rts.sender_buf;
+  pull.h1 = rts.bytes;
+  pull.h2 = r.local_addr;
+  pull.h3 = r.flag;
+  pull.h4 = r.flag_value;
+  pull.h5 = r.cq_cookie;
+  fabric_->send(std::move(pull));
+}
+
+void Nic::post_recv(RecvDesc r) {
+  ++stats_.counter("recvs_posted");
+  // Check parked rendezvous RTS descriptors first...
+  for (auto it = pending_rts_.begin(); it != pending_rts_.end(); ++it) {
+    if ((r.src == kAnySource || it->src == r.src) && it->tag == r.tag) {
+      PendingRts rts = *it;
+      pending_rts_.erase(it);
+      issue_rndv_pull(rts, r);
+      return;
+    }
+  }
+  // ...then the unexpected eager queue (message arrived before the recv).
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if ((r.src == kAnySource || it->src == r.src) && it->h0 == r.tag) {
+      net::Message msg = std::move(*it);
+      unexpected_.erase(it);
+      if (msg.payload.size() > r.max_bytes) {
+        throw std::runtime_error("recv buffer too small for matched send");
+      }
+      ++stats_.counter("recvs_matched_unexpected");
+      std::uint64_t bytes = msg.payload.size();
+      std::uint64_t cookie = r.cq_cookie;
+      sim_->spawn(
+          [](Nic* nic, mem::Addr dst, std::vector<std::byte> payload,
+             mem::Addr flag, std::uint64_t flag_value, std::uint64_t cookie,
+             std::uint64_t bytes) -> sim::Task<> {
+            co_await nic->land_payload(dst, std::move(payload), flag,
+                                       flag_value);
+            nic->push_cq(cookie, 3, bytes);
+          }(this, r.local_addr, std::move(msg.payload), r.flag, r.flag_value,
+            cookie, bytes),
+          log_.component() + ".land");
+      return;
+    }
+  }
+  posted_.push_back(r);
+}
+
+void Nic::deliver(net::Message&& msg) { rx_queue_.push(std::move(msg)); }
+
+void Nic::set_flag(mem::Addr flag, std::uint64_t value) {
+  if (flag != 0) mem_->store<std::uint64_t>(flag, value);
+}
+
+void Nic::push_cq(std::uint64_t cookie, std::uint32_t kind,
+                  std::uint64_t bytes) {
+  if (cookie == 0) return;
+  ++stats_.counter("cq_entries");
+  cq_.push(CqEntry{cookie, kind, bytes, sim_->now()});
+}
+
+sim::Task<> Nic::tx_loop() {
+  for (;;) {
+    Command cmd = co_await cmd_queue_.pop();
+    sim::Tick begin = sim_->now();
+    co_await sim_->delay(config_.cmd_fetch);
+    const char* kind = std::holds_alternative<PutDesc>(cmd)   ? "put"
+                       : std::holds_alternative<GetDesc>(cmd) ? "get"
+                                                              : "send";
+    co_await execute(std::move(cmd));
+    if (trace_ != nullptr) {
+      trace_->span(trace_lane_, std::string("tx:") + kind, "nic", begin,
+                   sim_->now());
+    }
+  }
+}
+
+sim::Task<> Nic::execute(Command cmd) {
+  if (auto* put = std::get_if<PutDesc>(&cmd)) {
+    ++stats_.counter("puts");
+    net::Message msg;
+    msg.src = node_id_;
+    msg.dst = put->target;
+    msg.kind = kPut;
+    msg.h0 = put->remote_addr;
+    msg.h1 = put->remote_flag;
+    msg.h2 = put->flag_value;
+    msg.h3 = put->remote_trigger_tag_plus1;
+    co_await tx_dma_.read_into(msg.payload, put->local_addr, put->bytes);
+    // Payload has left the send buffer: local completion.
+    set_flag(put->local_flag, put->flag_value);
+    push_cq(put->cq_cookie, 1, put->bytes);
+    fabric_->send(std::move(msg));
+  } else if (auto* get = std::get_if<GetDesc>(&cmd)) {
+    ++stats_.counter("gets");
+    net::Message msg;
+    msg.src = node_id_;
+    msg.dst = get->target;
+    msg.kind = kGetReq;
+    msg.h0 = get->remote_addr;   // where to read at the target
+    msg.h1 = get->bytes;
+    msg.h2 = get->local_addr;    // reply lands here
+    msg.h3 = (static_cast<std::uint64_t>(get->local_flag));
+    // Stash the flag value in the reply via the target (h2/h3 round-trip).
+    fabric_->send(std::move(msg));
+    // local_flag is raised when the GetReply lands (rx path).
+    (void)get->flag_value;  // carried implicitly: reply uses value 1 + addr
+  } else if (auto* send = std::get_if<SendDesc>(&cmd)) {
+    ++stats_.counter("sends");
+    if (send->bytes <= config_.eager_threshold) {
+      net::Message msg;
+      msg.src = node_id_;
+      msg.dst = send->target;
+      msg.kind = kSend;
+      msg.h0 = send->tag;
+      co_await tx_dma_.read_into(msg.payload, send->local_addr, send->bytes);
+      set_flag(send->local_flag, send->flag_value);
+      push_cq(send->cq_cookie, 2, send->bytes);
+      fabric_->send(std::move(msg));
+    } else {
+      // Rendezvous: ship only the ready-to-send descriptor; the payload
+      // stays put until the target's receive matches and pulls it.
+      ++stats_.counter("rendezvous_sends");
+      rndv_sender_state_[send->local_addr] =
+          SenderRndvState{send->local_flag, send->flag_value, send->cq_cookie};
+      net::Message rts;
+      rts.src = node_id_;
+      rts.dst = send->target;
+      rts.kind = kRts;
+      rts.h0 = send->tag;
+      rts.h1 = send->bytes;
+      rts.h2 = send->local_addr;
+      fabric_->send(std::move(rts));
+      // Local completion is raised when the pull drains the buffer.
+    }
+  }
+}
+
+sim::Task<> Nic::land_payload(mem::Addr dst, std::vector<std::byte>&& payload,
+                              mem::Addr flag, std::uint64_t flag_value) {
+  if (payload.empty()) {
+    set_flag(flag, flag_value);
+    co_return;
+  }
+  std::vector<std::byte> data = std::move(payload);
+  co_await rx_dma_.write_from(dst, data);
+  set_flag(flag, flag_value);
+}
+
+sim::Task<> Nic::handle_rx(net::Message msg) {
+  switch (msg.kind) {
+    case kPut: {
+      ++stats_.counter("puts_received");
+      std::uint64_t trigger_tag_plus1 = msg.h3;
+      co_await land_payload(msg.h0, std::move(msg.payload), msg.h1, msg.h2);
+      if (trigger_tag_plus1 != 0 && rx_trigger_hook_) {
+        // Counting receive event: bump the local trigger counter so a
+        // chained operation can fire with no processor involvement.
+        ++stats_.counter("rx_trigger_events");
+        rx_trigger_hook_(trigger_tag_plus1 - 1);
+      }
+      break;
+    }
+    case kSend: {
+      ++stats_.counter("sends_received");
+      bool matched = false;
+      for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+        if ((it->src == kAnySource || it->src == msg.src) &&
+            it->tag == msg.h0) {
+          RecvDesc r = *it;
+          posted_.erase(it);
+          if (msg.payload.size() > r.max_bytes) {
+            throw std::runtime_error("recv buffer too small for matched send");
+          }
+          std::uint64_t bytes = msg.payload.size();
+          co_await land_payload(r.local_addr, std::move(msg.payload), r.flag,
+                                r.flag_value);
+          push_cq(r.cq_cookie, 3, bytes);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        ++stats_.counter("unexpected_msgs");
+        unexpected_.push_back(std::move(msg));
+      }
+      break;
+    }
+    case kRts: {
+      ++stats_.counter("rts_received");
+      PendingRts rts{msg.src, msg.h0, msg.h1, msg.h2};
+      bool matched = false;
+      for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+        if ((it->src == kAnySource || it->src == msg.src) &&
+            it->tag == msg.h0) {
+          RecvDesc r = *it;
+          posted_.erase(it);
+          issue_rndv_pull(rts, r);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) pending_rts_.push_back(rts);
+      break;
+    }
+    case kRndvPull: {
+      ++stats_.counter("rndv_pulls_received");
+      // We are the original sender: stream the payload to the receiver.
+      net::Message data;
+      data.src = node_id_;
+      data.dst = msg.src;
+      data.kind = kRndvData;
+      data.h0 = msg.h2;  // receiver's buffer
+      data.h1 = msg.h3;  // receiver's flag
+      data.h2 = msg.h4;  // receiver's flag value
+      data.h3 = msg.h5;  // receiver's cq cookie
+      co_await tx_dma_.read_into(data.payload, msg.h0, msg.h1);
+      // Payload has left the send buffer: the send's local completion.
+      auto st = rndv_sender_state_.find(msg.h0);
+      if (st != rndv_sender_state_.end()) {
+        set_flag(st->second.local_flag, st->second.flag_value);
+        push_cq(st->second.cq_cookie, 2, msg.h1);
+        rndv_sender_state_.erase(st);
+      }
+      fabric_->send(std::move(data));
+      break;
+    }
+    case kRndvData: {
+      ++stats_.counter("rndv_data_received");
+      std::uint64_t bytes = msg.payload.size();
+      std::uint64_t cookie = msg.h3;
+      co_await land_payload(msg.h0, std::move(msg.payload), msg.h1, msg.h2);
+      push_cq(cookie, 3, bytes);
+      break;
+    }
+    case kGetReq: {
+      ++stats_.counter("get_reqs_received");
+      net::Message reply;
+      reply.src = node_id_;
+      reply.dst = msg.src;
+      reply.kind = kGetReply;
+      reply.h0 = msg.h2;  // initiator's local_addr
+      reply.h1 = msg.h3;  // initiator's local_flag
+      reply.h2 = 1;       // flag value
+      co_await tx_dma_.read_into(reply.payload, msg.h0, msg.h1);
+      fabric_->send(std::move(reply));
+      break;
+    }
+    case kGetReply: {
+      ++stats_.counter("get_replies_received");
+      co_await land_payload(msg.h0, std::move(msg.payload), msg.h1, msg.h2);
+      break;
+    }
+    default:
+      throw std::logic_error("nic: unknown message kind");
+  }
+}
+
+sim::Task<> Nic::rx_loop() {
+  for (;;) {
+    net::Message msg = co_await rx_queue_.pop();
+    sim::Tick begin = sim_->now();
+    std::uint32_t kind = msg.kind;
+    co_await sim_->delay(config_.rx_pipeline);
+    co_await handle_rx(std::move(msg));
+    if (trace_ != nullptr) {
+      trace_->span(trace_lane_, "rx:" + std::to_string(kind), "nic", begin,
+                   sim_->now());
+    }
+  }
+}
+
+}  // namespace gputn::nic

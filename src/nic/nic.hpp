@@ -1,0 +1,237 @@
+// RDMA-capable NIC model (Portals-4-flavoured).
+//
+// The NIC exposes a command queue fed by doorbells. Commands are one-sided
+// puts/gets or two-sided tagged sends. The TX engine fetches a command,
+// DMA-reads the payload out of node memory (after which the local completion
+// flag is raised — the buffer is reusable), and hands the message to the
+// fabric. The RX engine lands payloads via DMA and raises target-side
+// completion flags, and performs tag matching for two-sided traffic
+// (posted-receive list + unexpected-message queue, as in MPI).
+//
+// The GPU-TN triggered-operation extension lives in core/triggered.hpp and
+// feeds this command queue when a trigger entry fires (§3.3: "the logic-level
+// changes required for GPU-TN would be simple to add").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <variant>
+
+#include "mem/dma.hpp"
+#include "mem/memory.hpp"
+#include "net/fabric.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+#include "sim/sync.hpp"
+
+namespace gputn::nic {
+
+struct NicConfig {
+  /// Delay from a doorbell ring (MMIO store by CPU or GPU) until the command
+  /// is visible to the NIC command processor.
+  sim::Tick doorbell_latency = sim::ns(40);
+  /// Command fetch/decode occupancy per command.
+  sim::Tick cmd_fetch = sim::ns(30);
+  /// RX pipeline latency per inbound message before DMA.
+  sim::Tick rx_pipeline = sim::ns(40);
+  /// On-die DMA engines (SoC: CPU/GPU/NIC share memory, no PCIe copy).
+  /// Well above wire speed so staging does not add store-and-forward
+  /// latency that a real cut-through RDMA NIC would pipeline away.
+  sim::Bandwidth dma_bandwidth = sim::Bandwidth::gbps(1600);
+  sim::Tick dma_startup = sim::ns(20);
+  /// Two-sided sends up to this size travel eagerly (payload with the
+  /// first message, buffered if unexpected); larger sends use the
+  /// rendezvous protocol (RTS -> pull -> data), which avoids buffering
+  /// large unexpected payloads at the cost of an extra round trip.
+  std::uint64_t eager_threshold = 64 * 1024;
+};
+
+/// Completion-queue entry: an alternative notification mechanism to
+/// NIC-written memory flags (§4.2.4 contrasts the two). Commands may carry
+/// a user cookie; the NIC pushes an entry when the operation completes
+/// locally (puts/sends: payload out of the buffer; recvs: payload landed).
+struct CqEntry {
+  std::uint64_t cookie = 0;
+  std::uint32_t kind = 0;  ///< 1=put, 2=send, 3=recv, 4=get
+  std::uint64_t bytes = 0;
+  sim::Tick timestamp = 0;
+};
+
+/// One-sided put: write `bytes` from initiator `local_addr` to target
+/// `remote_addr`. Completion flags are optional (0 = none).
+struct PutDesc {
+  net::NodeId target = -1;
+  mem::Addr local_addr = 0;
+  std::uint64_t bytes = 0;
+  mem::Addr remote_addr = 0;
+  /// Initiator-side flag: set when the payload has left the send buffer.
+  mem::Addr local_flag = 0;
+  /// Target-side flag: set (in target memory) after the payload has landed.
+  mem::Addr remote_flag = 0;
+  std::uint64_t flag_value = 1;
+  /// If nonzero - 1 != 0 semantics: after the payload lands, the target
+  /// NIC increments its own trigger counter `remote_trigger_tag - 1`
+  /// (Portals-style counting receive event). This is what lets triggered
+  /// chains span nodes with no processor involvement (§6, Underwood et
+  /// al.). 0 = disabled; tag T is encoded as T + 1.
+  std::uint64_t remote_trigger_tag_plus1 = 0;
+  /// Optional completion-queue cookie (0 = no CQ entry on local completion).
+  std::uint64_t cq_cookie = 0;
+};
+
+/// One-sided get: read `bytes` from target `remote_addr` into initiator
+/// `local_addr`; `local_flag` set when the data has landed locally.
+struct GetDesc {
+  net::NodeId target = -1;
+  mem::Addr local_addr = 0;
+  std::uint64_t bytes = 0;
+  mem::Addr remote_addr = 0;
+  mem::Addr local_flag = 0;
+  std::uint64_t flag_value = 1;
+};
+
+/// Two-sided tagged send (matched against a posted receive at the target).
+/// Sends above the eager threshold use rendezvous: only a ready-to-send
+/// header travels; the target pulls the payload once the receive matches.
+struct SendDesc {
+  net::NodeId target = -1;
+  mem::Addr local_addr = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t tag = 0;
+  mem::Addr local_flag = 0;
+  std::uint64_t flag_value = 1;
+  /// Optional completion-queue cookie (0 = no CQ entry).
+  std::uint64_t cq_cookie = 0;
+};
+
+using Command = std::variant<PutDesc, GetDesc, SendDesc>;
+
+/// Posted receive for two-sided matching. `src == kAnySource` matches any.
+struct RecvDesc {
+  net::NodeId src = -1;
+  std::uint64_t tag = 0;
+  mem::Addr local_addr = 0;
+  std::uint64_t max_bytes = 0;
+  mem::Addr flag = 0;            ///< set when the payload has landed
+  std::uint64_t flag_value = 1;
+  /// Optional completion-queue cookie (0 = no CQ entry on completion).
+  std::uint64_t cq_cookie = 0;
+};
+
+inline constexpr net::NodeId kAnySource = -1;
+
+class Nic : public net::MessageSink {
+ public:
+  Nic(sim::Simulator& sim, mem::Memory& memory, net::Fabric& fabric,
+      NicConfig config);
+  ~Nic() override = default;
+
+  net::NodeId node_id() const { return node_id_; }
+  const NicConfig& config() const { return config_; }
+
+  /// Ring the command doorbell. Models the doorbell-write-to-NIC latency;
+  /// commands execute FIFO. Zero-cost for the caller (posted write).
+  void ring_doorbell(Command cmd);
+
+  /// Enqueue a command with no doorbell delay (used by on-NIC agents such as
+  /// the triggered-op unit, which is already inside the NIC).
+  void enqueue_internal(Command cmd);
+
+  /// Post a two-sided receive. Matching is FIFO per (src, tag), wildcard
+  /// source supported; checks the unexpected queue first.
+  void post_recv(RecvDesc r);
+
+  /// Hook invoked when an inbound put carries a counting-receive tag
+  /// (PutDesc::remote_trigger_tag_plus1). The triggered-op extension
+  /// registers itself here.
+  void set_rx_trigger_hook(std::function<void(std::uint64_t tag)> hook) {
+    rx_trigger_hook_ = std::move(hook);
+  }
+
+  /// Completion queue (§4.2.4's alternative to flag polling). Entries are
+  /// pushed for commands that carry a nonzero cq_cookie.
+  std::optional<CqEntry> cq_poll() { return cq_.try_pop(); }
+  sim::Task<CqEntry> cq_wait() { return cq_.pop(); }
+  std::size_t cq_depth() const { return cq_.size(); }
+
+  // -- net::MessageSink ----------------------------------------------------
+  void deliver(net::Message&& msg) override;
+
+  sim::StatRegistry& stats() { return stats_; }
+  const sim::StatRegistry& stats() const { return stats_; }
+
+  /// Attach a trace recorder; TX command and RX message events are
+  /// emitted onto `lane`.
+  void set_trace(sim::TraceRecorder* trace, std::string lane) {
+    trace_ = trace;
+    trace_lane_ = std::move(lane);
+  }
+  int posted_recvs() const { return static_cast<int>(posted_.size()); }
+  int unexpected_msgs() const { return static_cast<int>(unexpected_.size()); }
+
+ private:
+  enum MsgKind : std::uint32_t {
+    kPut = 1,
+    kSend = 2,
+    kGetReq = 3,
+    kGetReply = 4,
+    kRts = 5,       ///< rendezvous ready-to-send (header only)
+    kRndvPull = 6,  ///< rendezvous pull request (header only)
+    kRndvData = 7,  ///< rendezvous payload
+  };
+
+  /// RTS descriptors parked at the target until a receive matches.
+  struct PendingRts {
+    net::NodeId src;
+    std::uint64_t tag;
+    std::uint64_t bytes;
+    std::uint64_t sender_buf;
+  };
+  /// Sender-side completion state for an in-flight rendezvous, keyed by
+  /// the (unique) send buffer address; resolved when the pull arrives.
+  struct SenderRndvState {
+    mem::Addr local_flag;
+    std::uint64_t flag_value;
+    std::uint64_t cq_cookie;
+  };
+
+  sim::Task<> tx_loop();
+  sim::Task<> rx_loop();
+  sim::Task<> execute(Command cmd);
+  sim::Task<> handle_rx(net::Message msg);
+  sim::Task<> land_payload(mem::Addr dst, std::vector<std::byte>&& payload,
+                           mem::Addr flag, std::uint64_t flag_value);
+  /// Receiver side of rendezvous: issue the pull for a matched RTS.
+  void issue_rndv_pull(const PendingRts& rts, const RecvDesc& r);
+
+  void set_flag(mem::Addr flag, std::uint64_t value);
+  void push_cq(std::uint64_t cookie, std::uint32_t kind, std::uint64_t bytes);
+
+  sim::Simulator* sim_;
+  mem::Memory* mem_;
+  net::Fabric* fabric_;
+  NicConfig config_;
+  net::NodeId node_id_;
+
+  sim::Channel<Command> cmd_queue_;
+  sim::Channel<net::Message> rx_queue_;
+  mem::DmaEngine tx_dma_;
+  mem::DmaEngine rx_dma_;
+
+  std::deque<RecvDesc> posted_;
+  std::deque<net::Message> unexpected_;
+  std::deque<PendingRts> pending_rts_;
+  std::map<mem::Addr, SenderRndvState> rndv_sender_state_;
+  std::function<void(std::uint64_t)> rx_trigger_hook_;
+  sim::Channel<CqEntry> cq_;
+
+  sim::TraceRecorder* trace_ = nullptr;
+  std::string trace_lane_;
+  sim::StatRegistry stats_;
+  sim::Logger log_;
+};
+
+}  // namespace gputn::nic

@@ -1,0 +1,35 @@
+#include "sim/log.hpp"
+
+#include <cstdio>
+
+namespace gputn::sim {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void log_line(LogLevel level, Tick now, std::string_view component,
+              std::string_view message) {
+  std::fprintf(stderr, "[%12.3fus] %s %.*s: %.*s\n", to_us(now),
+               level_name(level), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace gputn::sim

@@ -1,0 +1,89 @@
+// Lightweight component-tagged trace logging for the simulator.
+//
+// Logging is off by default (Level::kWarn) so tests and benches run quietly;
+// a bench or test can raise the level to trace protocol interleavings.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "sim/units.hpp"
+
+namespace gputn::sim {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Process-wide log configuration. The simulator is single-threaded, so no
+/// synchronization is needed.
+class LogConfig {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel level) { level_ = level; }
+  static bool enabled(LogLevel level) {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+ private:
+  static inline LogLevel level_ = LogLevel::kWarn;
+};
+
+/// Emit one formatted log line: `[   12.345us] component: message`.
+void log_line(LogLevel level, Tick now, std::string_view component,
+              std::string_view message);
+
+/// printf-style logging helper bound to a component name and a time source.
+/// Each simulated object holds a Logger tagged with its name.
+class Logger {
+ public:
+  Logger(std::string component, const Tick* now_source)
+      : component_(std::move(component)), now_(now_source) {}
+
+  template <typename... Args>
+  void trace(const char* fmt, Args... args) const {
+    logf(LogLevel::kTrace, fmt, args...);
+  }
+  template <typename... Args>
+  void debug(const char* fmt, Args... args) const {
+    logf(LogLevel::kDebug, fmt, args...);
+  }
+  template <typename... Args>
+  void info(const char* fmt, Args... args) const {
+    logf(LogLevel::kInfo, fmt, args...);
+  }
+  template <typename... Args>
+  void warn(const char* fmt, Args... args) const {
+    logf(LogLevel::kWarn, fmt, args...);
+  }
+  template <typename... Args>
+  void error(const char* fmt, Args... args) const {
+    logf(LogLevel::kError, fmt, args...);
+  }
+
+  const std::string& component() const { return component_; }
+
+ private:
+  template <typename... Args>
+  void logf(LogLevel level, const char* fmt, Args... args) const {
+    if (!LogConfig::enabled(level)) return;
+    char buf[512];
+    if constexpr (sizeof...(Args) == 0) {
+      std::snprintf(buf, sizeof(buf), "%s", fmt);
+    } else {
+      std::snprintf(buf, sizeof(buf), fmt, args...);
+    }
+    log_line(level, now_ != nullptr ? *now_ : 0, component_, buf);
+  }
+
+  std::string component_;
+  const Tick* now_;
+};
+
+}  // namespace gputn::sim

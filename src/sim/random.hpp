@@ -1,0 +1,45 @@
+// Deterministic random number generation for workload synthesis.
+//
+// A single seeded generator per experiment keeps runs reproducible; the
+// simulator core itself is deterministic and uses no randomness.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace gputn::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Log-normal sized messages (typical of DL gradient buckets).
+  double lognormal(double log_mean, double log_sigma) {
+    return std::lognormal_distribution<double>(log_mean, log_sigma)(engine_);
+  }
+
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace gputn::sim

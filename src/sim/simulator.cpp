@@ -1,0 +1,182 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gputn::sim {
+
+std::string format_time(Tick t) {
+  char buf[64];
+  if (t < ns(10)) {
+    std::snprintf(buf, sizeof(buf), "%ldps", static_cast<long>(t));
+  } else if (t < us(10)) {
+    std::snprintf(buf, sizeof(buf), "%.3fns", to_ns(t));
+  } else if (t < ms(10)) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", to_us(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fms", to_ms(t));
+  }
+  return buf;
+}
+
+struct ProcessHandle::State {
+  Simulator* sim = nullptr;
+  std::string name;
+  bool finished = false;
+  std::exception_ptr exception;
+  std::vector<std::coroutine_handle<>> waiters;
+  std::coroutine_handle<> frame;  // detached wrapper frame, owned by Simulator
+};
+
+bool ProcessHandle::finished() const {
+  return state_ != nullptr && state_->finished;
+}
+
+Task<> ProcessHandle::join() {
+  struct JoinAwaiter {
+    State* s;
+    bool await_ready() const noexcept { return s->finished; }
+    void await_suspend(std::coroutine_handle<> h) { s->waiters.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  if (!state_) throw std::logic_error("join() on empty ProcessHandle");
+  co_await JoinAwaiter{state_.get()};
+  if (state_->exception) std::rethrow_exception(state_->exception);
+}
+
+Simulator::Simulator() : log_("sim", &now_) {}
+
+Simulator::~Simulator() { reap_processes(); }
+
+void Simulator::reap_processes() {
+  // Destroy still-suspended detached frames (infinite service loops such as
+  // link pumps, NIC engines). Destroying a suspended coroutine runs its
+  // locals' destructors; nothing is resumed.
+  for (auto& state : live_states_) {
+    if (state->frame) {
+      state->frame.destroy();
+      state->frame = nullptr;
+    }
+    if (!state->finished) {
+      state->finished = true;
+      --live_processes_;
+    }
+  }
+  live_states_.clear();
+}
+
+void Simulator::schedule_at(Tick when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule events in the past");
+  queue_.push(Scheduled{when, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_in(Tick delay, std::function<void()> fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t executed = 0;
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the callback is moved out before pop.
+    auto& top = const_cast<Scheduled&>(queue_.top());
+    Tick when = top.when;
+    auto fn = std::move(top.fn);
+    queue_.pop();
+    now_ = when;
+    fn();
+    ++executed;
+  }
+  executed_events_ += executed;
+  return executed;
+}
+
+std::uint64_t Simulator::run_until(Tick until) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    auto& top = const_cast<Scheduled&>(queue_.top());
+    Tick when = top.when;
+    auto fn = std::move(top.fn);
+    queue_.pop();
+    now_ = when;
+    fn();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  executed_events_ += executed;
+  return executed;
+}
+
+namespace {
+
+/// Fire-and-forget wrapper coroutine: starts eagerly, stays suspended at its
+/// final suspend point so the Simulator (which owns the handle via the
+/// process state) can destroy the frame. The wrapped Task's frame lives in
+/// this frame and is destroyed with it.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() noexcept {
+      return Detached{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+  std::coroutine_handle<> handle;
+};
+
+}  // namespace
+
+void Simulator::finish_process(std::shared_ptr<ProcessHandle::State> state) {
+  state->finished = true;
+  --live_processes_;
+  if (state->exception) {
+    log_.warn("process '%s' finished with an exception", state->name.c_str());
+  }
+  for (auto waiter : state->waiters) {
+    schedule_in(0, [waiter] { waiter.resume(); });
+  }
+  state->waiters.clear();
+  // The frame is currently executing (about to reach final_suspend); reclaim
+  // it once it has suspended. The state stays in live_states_ until the
+  // frame is actually destroyed so ~Simulator can still reclaim it if the
+  // destroy event never runs (e.g. run_until stopped early).
+  schedule_in(0, [this, state] {
+    if (state->frame) {
+      state->frame.destroy();
+      state->frame = nullptr;
+    }
+    std::erase(live_states_, state);
+  });
+}
+
+ProcessHandle Simulator::spawn(Task<> task, std::string name) {
+  auto state = std::make_shared<ProcessHandle::State>();
+  state->sim = this;
+  state->name = std::move(name);
+  ++live_processes_;
+  live_states_.push_back(state);
+
+  auto runner = [](Simulator* sim, Task<> t,
+                   std::shared_ptr<ProcessHandle::State> st) -> Detached {
+    try {
+      co_await std::move(t);
+    } catch (...) {
+      st->exception = std::current_exception();
+    }
+    sim->finish_process(st);
+  };
+  Detached d = runner(this, std::move(task), state);
+  // The coroutine may already have finished (synchronously); only record the
+  // frame if it is still alive so we do not double-destroy.
+  if (!state->finished) {
+    state->frame = d.handle;
+  } else {
+    d.handle.destroy();
+  }
+  return ProcessHandle(std::move(state));
+}
+
+}  // namespace gputn::sim

@@ -1,0 +1,124 @@
+// Discrete-event simulation kernel.
+//
+// The simulator owns a priority queue of (time, sequence, callback) events.
+// Events at equal times execute in insertion order, which — together with the
+// single-threaded execution model — makes every simulation fully
+// deterministic. Coroutine processes (`Task<>`) are driven by scheduling
+// their resumption through this queue.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/log.hpp"
+#include "sim/task.hpp"
+#include "sim/units.hpp"
+
+namespace gputn::sim {
+
+class Simulator;
+
+/// Join handle for a detached process started with Simulator::spawn.
+/// Cheap to copy; all copies refer to the same process.
+class ProcessHandle {
+ public:
+  ProcessHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  bool finished() const;
+  /// Suspends until the process finishes; rethrows its exception, if any.
+  Task<> join();
+
+ private:
+  friend class Simulator;
+  struct State;
+  explicit ProcessHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Tick now() const { return now_; }
+  /// Stable pointer to the current time, for Logger construction.
+  const Tick* now_ptr() const { return &now_; }
+
+  /// Schedule a callback at absolute time `when` (must be >= now()).
+  void schedule_at(Tick when, std::function<void()> fn);
+  /// Schedule a callback `delay` picoseconds from now.
+  void schedule_in(Tick delay, std::function<void()> fn);
+
+  /// Run until the event queue is empty. Returns the number of events
+  /// executed by this call.
+  std::uint64_t run();
+  /// Run all events with time <= `until`, then advance now() to `until`.
+  std::uint64_t run_until(Tick until);
+
+  /// Awaitable that suspends the current coroutine for `d` picoseconds.
+  auto delay(Tick d) {
+    struct Awaiter {
+      Simulator* sim;
+      Tick d;
+      bool await_ready() const noexcept { return d <= 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim->schedule_in(d, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+  /// Start a detached process. The coroutine runs immediately until its
+  /// first suspension; its frame is destroyed when it completes. The
+  /// returned handle can be joined or ignored.
+  ProcessHandle spawn(Task<> task, std::string name = "process");
+
+  /// Number of processes spawned that have not yet finished. A nonzero value
+  /// after run() returns indicates a deadlocked process (e.g. waiting on an
+  /// event nobody will trigger).
+  int live_processes() const { return live_processes_; }
+
+  std::uint64_t executed_events() const { return executed_events_; }
+  std::uint64_t scheduled_events() const { return next_seq_; }
+
+  /// Destroy all still-suspended detached process frames. Owners of
+  /// simulated hardware (e.g. Cluster) call this in their destructors so
+  /// service-loop coroutines die before the objects they reference.
+  void reap_processes();
+
+ private:
+  friend class ProcessHandle;
+
+  struct Scheduled {
+    Tick when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Scheduled& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  void finish_process(std::shared_ptr<ProcessHandle::State> state);
+
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_events_ = 0;
+  int live_processes_ = 0;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> queue_;
+  /// Detached process frames still running; destroyed (suspended) frames are
+  /// reclaimed when the process finishes, and any remainder in ~Simulator.
+  std::vector<std::shared_ptr<ProcessHandle::State>> live_states_;
+  Logger log_;
+};
+
+}  // namespace gputn::sim

@@ -1,0 +1,25 @@
+#include "sim/stats.hpp"
+
+#include <cstdio>
+
+namespace gputn::sim {
+
+std::string StatRegistry::to_string() const {
+  std::string out;
+  char buf[256];
+  for (const auto& [name, value] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%s = %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, acc] : accums_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s: n=%llu mean=%.3f min=%.3f max=%.3f sd=%.3f\n",
+                  name.c_str(), static_cast<unsigned long long>(acc.count()),
+                  acc.mean(), acc.min(), acc.max(), acc.stddev());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace gputn::sim

@@ -1,0 +1,101 @@
+// Statistics collection for simulated components and experiment reporting.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gputn::sim {
+
+/// Streaming accumulator (Welford) for scalar samples.
+class Accumulator {
+ public:
+  void add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void reset() { *this = Accumulator{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Power-of-two bucketed histogram for latency / size distributions.
+class Histogram {
+ public:
+  void add(std::uint64_t value) {
+    int bucket = value == 0 ? 0 : 64 - std::countl_zero(value);
+    if (bucket >= static_cast<int>(buckets_.size())) {
+      buckets_.resize(bucket + 1, 0);
+    }
+    ++buckets_[bucket];
+    acc_.add(static_cast<double>(value));
+  }
+
+  std::uint64_t count() const { return acc_.count(); }
+  double mean() const { return acc_.mean(); }
+  std::uint64_t bucket_count(int b) const {
+    return b < static_cast<int>(buckets_.size()) ? buckets_[b] : 0;
+  }
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+  const Accumulator& summary() const { return acc_; }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  Accumulator acc_;
+};
+
+/// Named counter registry so components can publish stats without global
+/// state; owned by the top-level experiment or node.
+class StatRegistry {
+ public:
+  std::uint64_t& counter(const std::string& name) { return counters_[name]; }
+  Accumulator& accumulator(const std::string& name) { return accums_[name]; }
+
+  std::uint64_t counter_value(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it != counters_.end() ? it->second : 0;
+  }
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Accumulator>& accumulators() const {
+    return accums_;
+  }
+
+  /// Render all stats as "name = value" lines (for debugging / reports).
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Accumulator> accums_;
+};
+
+}  // namespace gputn::sim

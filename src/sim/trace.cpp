@@ -1,0 +1,79 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace gputn::sim {
+
+int TraceRecorder::lane_id(const std::string& lane) {
+  auto it = lanes_.find(lane);
+  if (it != lanes_.end()) return it->second;
+  int id = static_cast<int>(lanes_.size()) + 1;
+  lanes_.emplace(lane, id);
+  return id;
+}
+
+void TraceRecorder::span(const std::string& lane, const std::string& name,
+                         const std::string& category, Tick begin, Tick end) {
+  events_.push_back(Event{lane_id(lane), name, category, begin,
+                          end > begin ? end - begin : 0});
+}
+
+void TraceRecorder::instant(const std::string& lane, const std::string& name,
+                            const std::string& category, Tick at) {
+  events_.push_back(Event{lane_id(lane), name, category, at, -1});
+}
+
+namespace {
+/// Minimal JSON string escaping (names are ASCII identifiers in practice).
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string TraceRecorder::to_json() const {
+  std::string out = "[\n";
+  char buf[512];
+  // Thread-name metadata so viewers show lane names.
+  for (const auto& [name, id] : lanes_) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":"
+                  "\"thread_name\",\"args\":{\"name\":\"%s\"}},\n",
+                  id, escape(name).c_str());
+    out += buf;
+  }
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (e.duration >= 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":\"%s\","
+                    "\"cat\":\"%s\",\"ts\":%.3f,\"dur\":%.3f}",
+                    e.lane, escape(e.name).c_str(), escape(e.category).c_str(),
+                    to_us(e.begin), to_us(e.duration));
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"name\":\"%s\","
+                    "\"cat\":\"%s\",\"ts\":%.3f,\"s\":\"t\"}",
+                    e.lane, escape(e.name).c_str(), escape(e.category).c_str(),
+                    to_us(e.begin));
+    }
+    out += buf;
+    out += i + 1 < events_.size() ? ",\n" : "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+bool TraceRecorder::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_json();
+  return static_cast<bool>(f);
+}
+
+}  // namespace gputn::sim

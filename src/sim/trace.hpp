@@ -1,0 +1,51 @@
+// Chrome-tracing (chrome://tracing / Perfetto) export of simulation
+// timelines.
+//
+// Components emit spans ("X" events) and instants ("i" events) onto named
+// lanes; write_json() produces a file loadable in any trace viewer, which
+// is the practical way to inspect protocol interleavings (who waited on
+// whom, where the kernel boundary costs sit) beyond what the ASCII
+// timelines of bench/fig03 show.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace gputn::sim {
+
+class TraceRecorder {
+ public:
+  /// Record a completed span [begin, end) on `lane`.
+  void span(const std::string& lane, const std::string& name,
+            const std::string& category, Tick begin, Tick end);
+  /// Record an instantaneous event.
+  void instant(const std::string& lane, const std::string& name,
+               const std::string& category, Tick at);
+
+  std::size_t event_count() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Serialize to Chrome Trace Event JSON (returns the JSON text).
+  std::string to_json() const;
+  /// Write to a file; returns false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  struct Event {
+    int lane;
+    std::string name;
+    std::string category;
+    Tick begin;
+    Tick duration;  ///< < 0 for instants
+  };
+  int lane_id(const std::string& lane);
+
+  std::map<std::string, int> lanes_;
+  std::vector<Event> events_;
+};
+
+}  // namespace gputn::sim

@@ -1,0 +1,78 @@
+// Simulation time and rate units.
+//
+// All simulated time is kept in integer picoseconds (`Tick`). Picosecond
+// resolution lets us express both sub-nanosecond serialization delays
+// (100 Gbps == 80 ps/byte) and multi-millisecond workloads without rounding.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+
+namespace gputn::sim {
+
+/// Simulated time in picoseconds.
+using Tick = std::int64_t;
+
+inline constexpr Tick kTickMax = INT64_MAX;
+
+/// Construct a Tick from picoseconds / nanoseconds / microseconds /
+/// milliseconds / seconds. Integral arguments stay exact; floating-point
+/// arguments round to the nearest picosecond.
+template <std::integral T>
+constexpr Tick ps(T v) { return static_cast<Tick>(v); }
+template <std::integral T>
+constexpr Tick ns(T v) { return static_cast<Tick>(v) * 1'000; }
+template <std::integral T>
+constexpr Tick us(T v) { return static_cast<Tick>(v) * 1'000'000; }
+template <std::integral T>
+constexpr Tick ms(T v) { return static_cast<Tick>(v) * 1'000'000'000; }
+template <std::integral T>
+constexpr Tick sec(T v) { return static_cast<Tick>(v) * 1'000'000'000'000; }
+
+constexpr Tick ns(double v) { return static_cast<Tick>(v * 1e3 + 0.5); }
+constexpr Tick us(double v) { return static_cast<Tick>(v * 1e6 + 0.5); }
+constexpr Tick ms(double v) { return static_cast<Tick>(v * 1e9 + 0.5); }
+constexpr Tick sec(double v) { return static_cast<Tick>(v * 1e12 + 0.5); }
+
+/// Convert a Tick back to floating-point units for reporting.
+constexpr double to_ns(Tick t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_us(Tick t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_ms(Tick t) { return static_cast<double>(t) / 1e9; }
+constexpr double to_sec(Tick t) { return static_cast<double>(t) / 1e12; }
+
+/// Link / DMA bandwidth. Stored as bytes per second so configs can be given
+/// in natural units (e.g. `Bandwidth::gbps(100)`).
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  static constexpr Bandwidth bytes_per_sec(double v) { return Bandwidth(v); }
+  static constexpr Bandwidth gbps(double gigabits) {
+    return Bandwidth(gigabits * 1e9 / 8.0);
+  }
+  static constexpr Bandwidth gibps(double gibibytes) {
+    return Bandwidth(gibibytes * 1024.0 * 1024.0 * 1024.0);
+  }
+
+  constexpr double bytes_per_second() const { return bytes_per_sec_; }
+
+  /// Time to serialize `bytes` at this bandwidth. Zero-byte transfers take
+  /// zero time; a zero bandwidth is invalid and asserts via division guard.
+  constexpr Tick serialize(std::uint64_t bytes) const {
+    if (bytes == 0) return 0;
+    return static_cast<Tick>(static_cast<double>(bytes) / bytes_per_sec_ * 1e12 +
+                             0.5);
+  }
+
+  constexpr bool valid() const { return bytes_per_sec_ > 0.0; }
+
+ private:
+  explicit constexpr Bandwidth(double bps) : bytes_per_sec_(bps) {}
+  double bytes_per_sec_ = 0.0;
+};
+
+/// Human-readable time for logs: picks ns/us/ms based on magnitude.
+std::string format_time(Tick t);
+
+}  // namespace gputn::sim

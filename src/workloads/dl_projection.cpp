@@ -1,0 +1,63 @@
+#include "workloads/dl_projection.hpp"
+
+#include <stdexcept>
+
+#include "workloads/allreduce.hpp"
+
+namespace gputn::workloads {
+
+AllreduceLatencyModel::AllreduceLatencyModel(const cluster::SystemConfig& sys,
+                                             int nodes)
+    : sys_(sys), nodes_(nodes) {}
+
+sim::Tick AllreduceLatencyModel::latency(Strategy s, std::size_t elements) {
+  auto key = std::make_pair(static_cast<int>(s), elements);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  AllreduceConfig cfg;
+  cfg.strategy = s;
+  cfg.nodes = nodes_;
+  cfg.elements = elements;
+  AllreduceResult res = run_allreduce(cfg, sys_);
+  if (!res.correct) {
+    throw std::runtime_error("dl projection: allreduce verification failed");
+  }
+  cache_.emplace(key, res.total_time);
+  return res.total_time;
+}
+
+std::vector<DlProjection> project_dl_workloads(
+    const DlProjectionConfig& cfg, const cluster::SystemConfig& sys) {
+  AllreduceLatencyModel model(sys, cfg.nodes);
+  std::vector<DlProjection> out;
+
+  for (const DlWorkload& w : table3_workloads()) {
+    DlProjection p;
+    p.workload = w;
+
+    for (Strategy s : kAllStrategies) {
+      double comm = 0.0;
+      for (std::size_t b = 0; b < kBucketElems.size(); ++b) {
+        if (w.bucket_weight[b] <= 0.0) continue;
+        double calls = w.bucket_weight[b] * static_cast<double>(w.reductions);
+        comm += calls * sim::to_sec(model.latency(s, kBucketElems[b]));
+      }
+      p.comm_seconds[s] = comm;
+    }
+
+    // Table 3's %Blocked is measured under the baseline strategy:
+    // blocked = comm_base / (comm_base + compute).
+    double comm_base = p.comm_seconds[cfg.baseline];
+    p.compute_seconds = comm_base * (1.0 - w.pct_blocked) / w.pct_blocked;
+
+    double t_norm = p.compute_seconds + p.comm_seconds[cfg.normalize_to];
+    for (Strategy s : kAllStrategies) {
+      p.speedup[s] = t_norm / (p.compute_seconds + p.comm_seconds[s]);
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace gputn::workloads

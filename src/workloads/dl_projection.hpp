@@ -1,0 +1,62 @@
+// Application-level speedup projection for deep learning (Figure 11,
+// §5.4.2), using the paper's own methodology:
+//
+//   1. Measure per-call Allreduce latency for every gradient-bucket size
+//      under every strategy, on a simulated 8-node cluster.
+//   2. For each workload, total communication time = sum over its reduction
+//      mix; total compute time is inferred from the Table 3 %Blocked figure
+//      under the baseline strategy.
+//   3. Synchronous SGD has no compute/communication overlap ("there are no
+//      computation/communication overlap effects to worry about"), so
+//      projected app time = compute + communication, and speedup follows.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "workloads/dl_traces.hpp"
+#include "workloads/strategy.hpp"
+
+namespace gputn::workloads {
+
+struct DlProjectionConfig {
+  int nodes = 8;  ///< Figure 11: cluster of 8 nodes
+  /// Strategy whose %Blocked matches Table 3 (the cluster the traces were
+  /// taken on ran classic host-driven networking).
+  Strategy baseline = Strategy::kHdn;
+  /// Normalization for the reported speedup bars.
+  Strategy normalize_to = Strategy::kCpu;
+};
+
+/// Per-call allreduce latency for each (strategy, bucket size), measured by
+/// running the real ring-allreduce simulation.
+class AllreduceLatencyModel {
+ public:
+  AllreduceLatencyModel(const cluster::SystemConfig& sys, int nodes);
+
+  /// Simulated latency of one allreduce call of `elements` fp32 under `s`
+  /// (memoized).
+  sim::Tick latency(Strategy s, std::size_t elements);
+
+ private:
+  cluster::SystemConfig sys_;
+  int nodes_;
+  std::map<std::pair<int, std::size_t>, sim::Tick> cache_;
+};
+
+struct DlProjection {
+  DlWorkload workload;
+  /// Total projected communication time per strategy.
+  std::map<Strategy, double> comm_seconds;
+  /// Inferred compute time (strategy independent).
+  double compute_seconds = 0.0;
+  /// Projected speedup vs. the normalization strategy.
+  std::map<Strategy, double> speedup;
+};
+
+/// Project all Table 3 workloads.
+std::vector<DlProjection> project_dl_workloads(
+    const DlProjectionConfig& cfg, const cluster::SystemConfig& sys);
+
+}  // namespace gputn::workloads

@@ -1,0 +1,49 @@
+// CNTK deep-learning workload traces (Table 3, §5.4.2).
+//
+// The paper ran six CNTK workloads on the Stampede supercomputer and
+// measured the frequency, time, and data size of their Allreduce calls,
+// then *projected* application-level speedup from simulator results. We do
+// not have Stampede or CNTK runs, so we synthesize traces that match the
+// published Table 3 characteristics (%time blocked on Allreduce under the
+// baseline, total reduction count) plus a per-workload gradient-bucket size
+// distribution chosen to match each model's structure (large dense layers
+// for AlexNet, small frequent LSTM buckets for AN4, tiny CIFAR convnets,
+// ...). The projection methodology itself (dl_projection.hpp) is the
+// paper's own.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gputn::workloads {
+
+/// The shared palette of gradient-bucket sizes (fp32 elements) used by all
+/// traces. Keeping a common palette lets the projection simulate each
+/// (size, strategy) pair once.
+inline constexpr std::array<std::size_t, 5> kBucketElems = {
+    16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024, 2 * 1024 * 1024};
+
+struct DlWorkload {
+  std::string name;
+  std::string domain;
+  /// Fraction of total time spent blocked on Allreduce (Table 3 %Blocked),
+  /// measured under the baseline configuration.
+  double pct_blocked = 0.0;
+  /// Total number of reduction calls over the training run (Table 3).
+  std::uint64_t reductions = 0;
+  /// Weight of each kBucketElems size in the reduction mix (sums to 1).
+  std::array<double, kBucketElems.size()> bucket_weight = {};
+
+  /// Mean reduced bytes per call.
+  double mean_bytes_per_reduction() const;
+};
+
+/// The six workloads of Table 3.
+const std::vector<DlWorkload>& table3_workloads();
+
+/// Render Table 3 (name, domain, %blocked, reductions).
+std::string format_table3();
+
+}  // namespace gputn::workloads

@@ -1,0 +1,58 @@
+// 2-D Jacobi relaxation (§5.3, Figure 9).
+//
+// A 2N x 2N global torus is split across 4 nodes in a 2x2 decomposition;
+// each node iterates a 5-point stencil on its NxN block (with ghost layer)
+// and exchanges four halo edges per iteration. The four strategies differ
+// only in how the halo exchange is driven:
+//
+//   CPU    — OpenMP-style stencil on the host; MPI send/recv with eager
+//            staging copies.
+//   HDN    — stencil kernel per iteration; host does send/recv at every
+//            kernel boundary ("exiting the kernel and returning to the host
+//            for MPI send/receives after every round").
+//   GDS    — communication pre-registered; stream = [kernel, puts, waits]
+//            per iteration: boundaries remain, host does not.
+//   GPU-TN — one persistent kernel for the whole run; edges are sent with
+//            intra-kernel triggered puts and halos awaited by polling
+//            NIC-written flags.
+//
+// The numerics are real: every strategy computes the same doubles, verified
+// against a scalar reference of the global torus.
+#pragma once
+
+#include "cluster/config.hpp"
+#include "workloads/strategy.hpp"
+
+namespace gputn::workloads {
+
+struct JacobiConfig {
+  Strategy strategy = Strategy::kGpuTn;
+  int n = 256;          ///< local grid edge (Figure 9 x-axis: N x N local)
+  int iterations = 10;  ///< measured iterations (steady state)
+  /// Work-groups per stencil kernel (<= CU count so the GPU-TN persistent
+  /// kernel stays resident).
+  int num_wgs = 16;
+  /// Overlap communication with interior compute (GPU-TN only). The
+  /// paper's implementation "does not exploit overlap" (§5.3); with this
+  /// flag the persistent kernel computes the halo-independent interior
+  /// while the halos are in flight, then finishes the boundary ring.
+  bool overlap = false;
+};
+
+struct JacobiResult {
+  Strategy strategy;
+  int n = 0;
+  int iterations = 0;
+  sim::Tick total_time = 0;
+  sim::Tick per_iteration() const { return total_time / iterations; }
+  /// Sum over the local grid of node 0 after the last iteration.
+  double checksum = 0.0;
+  /// Numerics match the scalar torus reference.
+  bool correct = false;
+};
+
+JacobiResult run_jacobi(const JacobiConfig& cfg,
+                        const cluster::SystemConfig& sys);
+JacobiResult run_jacobi(const JacobiConfig& cfg);
+
+}  // namespace gputn::workloads

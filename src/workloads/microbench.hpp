@@ -1,0 +1,42 @@
+// Latency microbenchmark (§5.2, Figure 8): a kernel on the initiator copies
+// one cache line and sends it to the target; we decompose where the time
+// goes for HDN, GDS, and GPU-TN, and record when the target observes the
+// data relative to the initiator's kernel lifecycle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "workloads/strategy.hpp"
+
+namespace gputn::workloads {
+
+struct PhaseSpan {
+  std::string label;
+  sim::Tick begin = 0;
+  sim::Tick end = 0;
+  double us() const { return sim::to_us(end - begin); }
+};
+
+struct MicrobenchResult {
+  Strategy strategy = Strategy::kHdn;
+  std::vector<PhaseSpan> initiator_phases;
+  /// When the target observed the payload (its completion flag / recv).
+  sim::Tick target_completion = 0;
+  /// When the initiator finished everything (kernel teardown + sends).
+  sim::Tick initiator_completion = 0;
+  /// End-to-end metric used for the §5.2 uplift claims.
+  sim::Tick end_to_end() const { return target_completion; }
+  bool payload_correct = false;
+};
+
+/// Run the one-cache-line microbenchmark under `strategy` on a fresh
+/// 2-node cluster.
+MicrobenchResult run_microbench(Strategy strategy,
+                                const cluster::SystemConfig& config);
+
+/// Convenience: Table 2 configuration.
+MicrobenchResult run_microbench(Strategy strategy);
+
+}  // namespace gputn::workloads

@@ -1,0 +1,46 @@
+// The four networking strategies evaluated in §5.1.
+#pragma once
+
+namespace gputn::workloads {
+
+enum class Strategy {
+  kCpu,    ///< all compute + communication on the host CPU
+  kHdn,    ///< GPU compute, host-driven kernel-boundary send/recv
+  kGds,    ///< GPUDirect-Async-style: pre-posted ops fired by the GPU
+           ///< front-end at kernel boundaries
+  kGpuTn,  ///< GPU Triggered Networking: intra-kernel triggered operations
+  // The two intra-kernel alternatives the paper compares against only
+  // qualitatively (§5.1.1, Table 1); implemented here so the comparison
+  // can be quantified (bench/tab01_taxonomy).
+  kGhn,  ///< GPU Host Networking: bounce buffer + CPU helper thread
+  kGnn,  ///< GPU Native Networking: the GPU builds the command packet
+};
+
+inline const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kCpu:
+      return "CPU";
+    case Strategy::kHdn:
+      return "HDN";
+    case Strategy::kGds:
+      return "GDS";
+    case Strategy::kGpuTn:
+      return "GPU-TN";
+    case Strategy::kGhn:
+      return "GHN";
+    case Strategy::kGnn:
+      return "GNN";
+  }
+  return "?";
+}
+
+/// The four configurations evaluated quantitatively in §5.
+inline constexpr Strategy kAllStrategies[] = {Strategy::kCpu, Strategy::kHdn,
+                                              Strategy::kGds, Strategy::kGpuTn};
+
+/// The full Table 1 taxonomy (microbenchmark only).
+inline constexpr Strategy kTaxonomyStrategies[] = {
+    Strategy::kCpu, Strategy::kHdn,   Strategy::kGds,
+    Strategy::kGhn, Strategy::kGnn,   Strategy::kGpuTn};
+
+}  // namespace gputn::workloads

@@ -1,0 +1,42 @@
+#include "cluster/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gputn::cluster {
+namespace {
+
+TEST(Config, Table2MatchesThePaper) {
+  SystemConfig c = SystemConfig::table2();
+  EXPECT_EQ(c.cpu.cores, 8);
+  EXPECT_DOUBLE_EQ(c.cpu.clock_ghz, 4.0);
+  EXPECT_EQ(c.gpu.cu_count, 24);
+  EXPECT_DOUBLE_EQ(c.gpu.clock_ghz, 1.0);
+  EXPECT_EQ(c.gpu.launch_latency, sim::us(1.5));
+  EXPECT_EQ(c.gpu.teardown_latency, sim::us(1.5));
+  EXPECT_EQ(c.fabric.link_latency, sim::ns(100));
+  EXPECT_EQ(c.fabric.switch_latency, sim::ns(100));
+  EXPECT_DOUBLE_EQ(c.fabric.bandwidth.bytes_per_second() * 8 / 1e9, 100.0);
+  EXPECT_EQ(c.triggered.table.lookup, core::LookupKind::kAssociative);
+  EXPECT_EQ(c.triggered.table.associative_entries, 16);
+}
+
+TEST(Config, DescribeMentionsEveryComponent) {
+  std::string d = SystemConfig::table2().describe();
+  for (const char* key : {"CPU:", "GPU:", "NIC:", "Trigger:", "Network:",
+                          "DRAM:", "associative", "star"}) {
+    EXPECT_NE(d.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(Config, WireLatencyCalibration) {
+  // Table 2's network parameters give the ~0.3 us one-cache-line wire
+  // latency that Figure 8 depends on.
+  SystemConfig c = SystemConfig::table2();
+  sim::Tick t = net::FabricConfig{}.bandwidth.serialize(144) * 2 +
+                2 * c.fabric.link_latency + c.fabric.switch_latency;
+  EXPECT_GT(t, sim::ns(300));
+  EXPECT_LT(t, sim::ns(350));
+}
+
+}  // namespace
+}  // namespace gputn::cluster

@@ -1,0 +1,151 @@
+// Chained triggered operations (Portals 4 triggered CTInc; §6): counters
+// that increment other counters on firing, and counting receive events
+// that let inbound puts advance the target's trigger counters — together
+// enabling processor-free operation sequences.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/triggered.hpp"
+#include "net/fabric.hpp"
+#include "nic/nic.hpp"
+#include "sim/simulator.hpp"
+
+namespace gputn::core {
+namespace {
+
+nic::PutDesc dummy_put(int target = 1) {
+  nic::PutDesc p;
+  p.target = target;
+  p.bytes = 8;
+  return p;
+}
+
+TEST(TriggerChains, FiringIncrementsChainedCounter) {
+  TriggerTable t(TriggerTableConfig{});
+  std::vector<nic::Command> fired;
+  // Op A on tag 1 chains to tag 2; op B on tag 2 fires a put.
+  t.register_op(TriggeredOp{1, 1, std::nullopt, false, 0, {2}}, fired);
+  t.register_op(TriggeredOp{2, 1, dummy_put(), false, 0, {}}, fired);
+  auto r = t.find_or_create(1);
+  int hops = 0;
+  t.increment(*r.counter, fired, &hops);
+  ASSERT_EQ(fired.size(), 1u) << "chain must cascade to op B";
+  EXPECT_EQ(hops, 1);
+}
+
+TEST(TriggerChains, MultiHopCascade) {
+  TriggerTable t(TriggerTableConfig{});
+  std::vector<nic::Command> fired;
+  // 1 -> 2 -> 3 -> 4(put)
+  t.register_op(TriggeredOp{1, 1, std::nullopt, false, 0, {2}}, fired);
+  t.register_op(TriggeredOp{2, 1, std::nullopt, false, 0, {3}}, fired);
+  t.register_op(TriggeredOp{3, 1, std::nullopt, false, 0, {4}}, fired);
+  t.register_op(TriggeredOp{4, 1, dummy_put(), false, 0, {}}, fired);
+  auto r = t.find_or_create(1);
+  int hops = 0;
+  t.increment(*r.counter, fired, &hops);
+  EXPECT_EQ(fired.size(), 1u);
+  EXPECT_EQ(hops, 3);
+}
+
+TEST(TriggerChains, ChainIntoThresholdAccumulates) {
+  // Two source tags each chain into a joint counter with threshold 2:
+  // a hardware AND-gate (both events must occur).
+  TriggerTable t(TriggerTableConfig{});
+  std::vector<nic::Command> fired;
+  t.register_op(TriggeredOp{1, 1, std::nullopt, false, 0, {10}}, fired);
+  t.register_op(TriggeredOp{2, 1, std::nullopt, false, 0, {10}}, fired);
+  t.register_op(TriggeredOp{10, 2, dummy_put(), false, 0, {}}, fired);
+  auto r1 = t.find_or_create(1);
+  t.increment(*r1.counter, fired);
+  EXPECT_TRUE(fired.empty()) << "AND gate must wait for both inputs";
+  auto r2 = t.find_or_create(2);
+  t.increment(*r2.counter, fired);
+  EXPECT_EQ(fired.size(), 1u);
+}
+
+TEST(TriggerChains, CommandAndChainFireTogether) {
+  TriggerTable t(TriggerTableConfig{});
+  std::vector<nic::Command> fired;
+  t.register_op(TriggeredOp{1, 1, dummy_put(7), false, 0, {2}}, fired);
+  t.register_op(TriggeredOp{2, 1, dummy_put(8), false, 0, {}}, fired);
+  auto r = t.find_or_create(1);
+  t.increment(*r.counter, fired);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(std::get<nic::PutDesc>(fired[0]).target, 7);
+  EXPECT_EQ(std::get<nic::PutDesc>(fired[1]).target, 8);
+}
+
+TEST(TriggerChains, CycleDetected) {
+  TriggerTable t(TriggerTableConfig{});
+  std::vector<nic::Command> fired;
+  t.register_op(TriggeredOp{1, 1, std::nullopt, false, 0, {2}}, fired);
+  // 2 chains back into 1 — but op 1 already fired, so no infinite loop; a
+  // genuine cycle needs re-firable ops, modelled here with high thresholds
+  // that keep feeding each other. The depth guard must trip.
+  for (std::uint64_t th = 2; th < 100; ++th) {
+    t.register_op(TriggeredOp{1, th, std::nullopt, false, 0, {2}}, fired);
+    t.register_op(TriggeredOp{2, th - 1, std::nullopt, false, 0, {1}}, fired);
+  }
+  auto r = t.find_or_create(1);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 200; ++i) t.increment(*r.counter, fired);
+      },
+      std::runtime_error);
+}
+
+// Cross-node chain: a put with a counting-receive tag advances the target
+// NIC's trigger counter, firing a pre-staged forward put — a processor-free
+// relay.
+TEST(TriggerChains, CountingReceiveForwardsAcrossNodes) {
+  sim::Simulator sim;
+  net::Fabric fabric(sim, net::FabricConfig{});
+  std::vector<std::unique_ptr<mem::Memory>> mems;
+  std::vector<std::unique_ptr<nic::Nic>> nics;
+  std::vector<std::unique_ptr<TriggeredNic>> trigs;
+  for (int i = 0; i < 3; ++i) {
+    mems.push_back(std::make_unique<mem::Memory>(1 << 20));
+    nics.push_back(
+        std::make_unique<nic::Nic>(sim, *mems.back(), fabric, nic::NicConfig{}));
+    trigs.push_back(std::make_unique<TriggeredNic>(sim, *nics.back(),
+                                                   *mems.back(),
+                                                   TriggeredNicConfig{}));
+  }
+  // Node 0 sends to node 1; node 1's NIC auto-forwards to node 2.
+  mem::Addr src = mems[0]->alloc(64);
+  mems[0]->store<std::uint64_t>(src, 777);
+  mem::Addr relay = mems[1]->alloc(64);
+  mem::Addr dst = mems[2]->alloc(64);
+  mem::Addr final_flag = mems[2]->alloc(8);
+  mems[2]->store<std::uint64_t>(final_flag, 0);
+
+  // Stage the forward put on node 1, armed by counting-receive tag 5.
+  nic::PutDesc fwd;
+  fwd.target = 2;
+  fwd.local_addr = relay;
+  fwd.bytes = 64;
+  fwd.remote_addr = dst;
+  fwd.remote_flag = final_flag;
+  trigs[1]->register_put(5, 1, fwd);
+
+  // First hop: put into the relay buffer, carrying the counting tag.
+  nic::PutDesc first;
+  first.target = 1;
+  first.local_addr = src;
+  first.bytes = 64;
+  first.remote_addr = relay;
+  first.remote_trigger_tag_plus1 = 5 + 1;
+  nics[0]->ring_doorbell(first);
+
+  sim.run();
+  EXPECT_EQ(mems[2]->load<std::uint64_t>(final_flag), 1u);
+  EXPECT_EQ(mems[2]->load<std::uint64_t>(dst), 777u);
+  EXPECT_EQ(nics[1]->stats().counter_value("rx_trigger_events"), 1u);
+  sim.reap_processes();
+}
+
+}  // namespace
+}  // namespace gputn::core

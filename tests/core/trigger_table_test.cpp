@@ -1,0 +1,219 @@
+#include "core/trigger_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gputn::core {
+namespace {
+
+nic::PutDesc dummy_put(int target = 1) {
+  nic::PutDesc p;
+  p.target = target;
+  p.bytes = 8;
+  return p;
+}
+
+TEST(TriggerTable, FiresWhenCounterReachesThreshold) {
+  TriggerTable t(TriggerTableConfig{});
+  std::vector<nic::Command> fired;
+  t.register_op(TriggeredOp{/*tag=*/1, /*threshold=*/3, dummy_put(), false, 0, {}},
+                fired);
+  EXPECT_TRUE(fired.empty());
+
+  auto r = t.find_or_create(1);
+  EXPECT_FALSE(r.created);  // registration created the counter
+  t.increment(*r.counter, fired);
+  t.increment(*r.counter, fired);
+  EXPECT_TRUE(fired.empty()) << "must not fire below threshold";
+  t.increment(*r.counter, fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(t.ops_fired(), 1u);
+}
+
+TEST(TriggerTable, DoesNotRefireOnExtraWrites) {
+  TriggerTable t(TriggerTableConfig{});
+  std::vector<nic::Command> fired;
+  t.register_op(TriggeredOp{1, 1, dummy_put(), false, 0, {}}, fired);
+  auto r = t.find_or_create(1);
+  for (int i = 0; i < 10; ++i) t.increment(*r.counter, fired);
+  EXPECT_EQ(fired.size(), 1u);
+}
+
+TEST(TriggerTable, RelaxedSyncOrphanThenRegister) {
+  // §3.2: GPU triggers before CPU posts. The write allocates an orphan
+  // counter; registration with threshold already met fires immediately.
+  TriggerTable t(TriggerTableConfig{});
+  std::vector<nic::Command> fired;
+
+  auto r = t.find_or_create(42);
+  EXPECT_TRUE(r.created);
+  EXPECT_TRUE(r.counter->orphan);
+  t.increment(*r.counter, fired);
+  t.increment(*r.counter, fired);
+  EXPECT_TRUE(fired.empty()) << "no op armed yet";
+  EXPECT_EQ(t.orphans_created(), 1u);
+
+  t.register_op(TriggeredOp{42, 2, dummy_put(), false, 0, {}}, fired);
+  ASSERT_EQ(fired.size(), 1u) << "threshold already met at registration";
+}
+
+TEST(TriggerTable, RelaxedSyncPartialCountThenRegister) {
+  TriggerTable t(TriggerTableConfig{});
+  std::vector<nic::Command> fired;
+  auto r = t.find_or_create(7);
+  t.increment(*r.counter, fired);  // count = 1
+  t.register_op(TriggeredOp{7, 3, dummy_put(), false, 0, {}}, fired);
+  EXPECT_TRUE(fired.empty());
+  t.increment(*r.counter, fired);  // 2
+  EXPECT_TRUE(fired.empty());
+  t.increment(*r.counter, fired);  // 3 -> fire
+  EXPECT_EQ(fired.size(), 1u);
+}
+
+TEST(TriggerTable, MultipleOpsOnOneCounterFireAtTheirThresholds) {
+  // Multi-round schedules: ops at thresholds 1, 2, 3 on the same tag.
+  TriggerTable t(TriggerTableConfig{});
+  std::vector<nic::Command> fired;
+  for (std::uint64_t th = 1; th <= 3; ++th) {
+    t.register_op(TriggeredOp{5, th, dummy_put(static_cast<int>(th)), false, 0, {}},
+                  fired);
+  }
+  auto r = t.find_or_create(5);
+  for (int i = 0; i < 3; ++i) {
+    fired.clear();
+    t.increment(*r.counter, fired);
+    ASSERT_EQ(fired.size(), 1u) << "exactly one op per threshold crossing";
+    EXPECT_EQ(std::get<nic::PutDesc>(fired[0]).target, i + 1);
+  }
+}
+
+TEST(TriggerTable, IndependentTagsDoNotInterfere) {
+  TriggerTable t(TriggerTableConfig{});
+  std::vector<nic::Command> fired;
+  t.register_op(TriggeredOp{1, 1, dummy_put(1), false, 0, {}}, fired);
+  t.register_op(TriggeredOp{2, 1, dummy_put(2), false, 0, {}}, fired);
+  auto r1 = t.find_or_create(1);
+  t.increment(*r1.counter, fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(std::get<nic::PutDesc>(fired[0]).target, 1);
+  EXPECT_EQ(t.pending_ops(), 1);
+}
+
+TEST(TriggerTable, ReleaseRemovesCounterAndOps) {
+  TriggerTable t(TriggerTableConfig{});
+  std::vector<nic::Command> fired;
+  t.register_op(TriggeredOp{9, 5, dummy_put(), false, 0, {}}, fired);
+  EXPECT_EQ(t.active_counters(), 1);
+  t.release(9);
+  EXPECT_EQ(t.active_counters(), 0);
+  EXPECT_EQ(t.total_ops(), 0);
+  // A later write re-creates an orphan rather than touching freed state.
+  auto r = t.find_or_create(9);
+  EXPECT_TRUE(r.created);
+}
+
+TEST(TriggerTable, AssociativeCapacityEnforced) {
+  TriggerTableConfig cfg;
+  cfg.lookup = LookupKind::kAssociative;
+  cfg.associative_entries = 4;
+  TriggerTable t(cfg);
+  std::vector<nic::Command> fired;
+  for (std::uint64_t tag = 0; tag < 4; ++tag) {
+    t.register_op(TriggeredOp{tag, 1, dummy_put(), false, 0, {}}, fired);
+  }
+  EXPECT_THROW(t.register_op(TriggeredOp{99, 1, dummy_put(), false, 0, {}}, fired),
+               std::runtime_error);
+  EXPECT_THROW(t.find_or_create(100), std::runtime_error);
+  // Releasing frees capacity.
+  t.release(0);
+  EXPECT_NO_THROW(t.find_or_create(100));
+}
+
+TEST(TriggerTable, HashAndListVariantsAreUnbounded) {
+  for (auto kind : {LookupKind::kHash, LookupKind::kLinkedList}) {
+    TriggerTableConfig cfg;
+    cfg.lookup = kind;
+    cfg.associative_entries = 2;
+    TriggerTable t(cfg);
+    std::vector<nic::Command> fired;
+    for (std::uint64_t tag = 0; tag < 100; ++tag) {
+      t.register_op(TriggeredOp{tag, 1, dummy_put(), false, 0, {}}, fired);
+    }
+    EXPECT_EQ(t.active_counters(), 100);
+  }
+}
+
+TEST(TriggerTable, LookupCostsModelHardware) {
+  TriggerTableConfig cfg;
+  cfg.lookup = LookupKind::kLinkedList;
+  cfg.list_hop_cost = sim::ns(6);
+  TriggerTable t(cfg);
+  std::vector<nic::Command> fired;
+  for (std::uint64_t tag = 0; tag < 10; ++tag) {
+    t.register_op(TriggeredOp{tag, 1, dummy_put(), false, 0, {}}, fired);
+  }
+  // First entry: one hop. Last entry: ten hops.
+  EXPECT_EQ(t.probe_cost(0), sim::ns(6));
+  EXPECT_EQ(t.probe_cost(9), sim::ns(60));
+
+  TriggerTableConfig assoc;
+  assoc.lookup = LookupKind::kAssociative;
+  assoc.associative_cost = sim::ns(4);
+  TriggerTable t2(assoc);
+  t2.register_op(TriggeredOp{0, 1, dummy_put(), false, 0, {}}, fired);
+  EXPECT_EQ(t2.probe_cost(0), sim::ns(4));
+}
+
+// Property sweep: for any (threshold, writes >= threshold) the op fires
+// exactly once; for writes < threshold it never fires.
+class ThresholdProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ThresholdProperty, ExactlyOnceSemantics) {
+  auto [threshold, writes] = GetParam();
+  TriggerTable t(TriggerTableConfig{});
+  std::vector<nic::Command> fired;
+  t.register_op(
+      TriggeredOp{1, static_cast<std::uint64_t>(threshold), dummy_put(), false, 0, {}},
+      fired);
+  auto r = t.find_or_create(1);
+  for (int i = 0; i < writes; ++i) t.increment(*r.counter, fired);
+  if (writes >= threshold) {
+    EXPECT_EQ(fired.size(), 1u);
+  } else {
+    EXPECT_TRUE(fired.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ThresholdProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 8, 64, 256),
+                       ::testing::Values(0, 1, 2, 7, 64, 300)));
+
+// Property: ordering of op registration vs. counter writes never changes the
+// total number of fires (relaxed synchronization invariant, §3.2).
+class InterleavingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(InterleavingProperty, FireCountInvariantUnderReordering) {
+  const int threshold = 4;
+  const int total_writes = 6;
+  int writes_before_register = GetParam();
+
+  TriggerTable t(TriggerTableConfig{});
+  std::vector<nic::Command> fired;
+  auto write = [&] {
+    auto r = t.find_or_create(3);
+    t.increment(*r.counter, fired);
+  };
+  for (int i = 0; i < writes_before_register; ++i) write();
+  t.register_op(TriggeredOp{3, threshold, dummy_put(), false, 0, {}}, fired);
+  for (int i = writes_before_register; i < total_writes; ++i) write();
+
+  EXPECT_EQ(fired.size(), 1u)
+      << "exactly-once regardless of post/trigger interleaving";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInterleavings, InterleavingProperty,
+                         ::testing::Range(0, 7));
+
+}  // namespace
+}  // namespace gputn::core

@@ -1,0 +1,83 @@
+#include "mem/dma.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+namespace gputn::mem {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  Memory memory{1 << 20};
+  // 1 GB/s = 1 byte/ns for easy arithmetic; 10 ns startup.
+  DmaEngine dma{sim, memory, sim::Bandwidth::bytes_per_sec(1e9), sim::ns(10)};
+};
+
+TEST(Dma, CopyMovesBytesAndTakesTime) {
+  Fixture f;
+  Addr src = f.memory.alloc(256);
+  Addr dst = f.memory.alloc(256);
+  for (int i = 0; i < 256; ++i) {
+    f.memory.store<std::uint8_t>(src + i, static_cast<std::uint8_t>(i));
+  }
+  f.sim.spawn(f.dma.copy(dst, src, 256), "copy");
+  f.sim.run();
+  EXPECT_EQ(f.sim.now(), sim::ns(266));  // 10 startup + 256 bytes
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(f.memory.load<std::uint8_t>(dst + i), i);
+  }
+  EXPECT_EQ(f.dma.bytes_moved(), 256u);
+}
+
+TEST(Dma, TransfersSerializeOnTheEngine) {
+  Fixture f;
+  Addr a = f.memory.alloc(1000);
+  Addr b = f.memory.alloc(1000);
+  Addr c = f.memory.alloc(1000);
+  f.sim.spawn(f.dma.copy(b, a, 1000), "t1");
+  f.sim.spawn(f.dma.copy(c, a, 1000), "t2");
+  f.sim.run();
+  // Two 1010 ns transfers back to back, not in parallel.
+  EXPECT_EQ(f.sim.now(), sim::ns(2020));
+}
+
+TEST(Dma, ReadIntoAndWriteFromRoundTrip) {
+  Fixture f;
+  Addr src = f.memory.alloc(64);
+  Addr dst = f.memory.alloc(64);
+  f.memory.store<std::uint64_t>(src, 0x1122334455667788ull);
+  f.sim.spawn(
+      [](Fixture& fx, Addr s, Addr d) -> sim::Task<> {
+        std::vector<std::byte> staging;
+        co_await fx.dma.read_into(staging, s, 64);
+        co_await fx.dma.write_from(d, staging);
+      }(f, src, dst),
+      "rt");
+  f.sim.run();
+  EXPECT_EQ(f.memory.load<std::uint64_t>(dst), 0x1122334455667788ull);
+}
+
+TEST(Dma, ZeroByteTransferCostsOnlyStartup) {
+  Fixture f;
+  f.sim.spawn(f.dma.consume_time(0), "zero");
+  f.sim.run();
+  EXPECT_EQ(f.sim.now(), sim::ns(10));
+}
+
+TEST(Dma, DataVisibleOnlyAtCompletionTime) {
+  Fixture f;
+  Addr src = f.memory.alloc(64);
+  Addr dst = f.memory.alloc(64);
+  f.memory.store<std::uint64_t>(src, 99);
+  f.memory.store<std::uint64_t>(dst, 0);
+  f.sim.spawn(f.dma.copy(dst, src, 64), "copy");
+  f.sim.run_until(sim::ns(50));  // mid-transfer
+  EXPECT_EQ(f.memory.load<std::uint64_t>(dst), 0u);
+  f.sim.run();
+  EXPECT_EQ(f.memory.load<std::uint64_t>(dst), 99u);
+}
+
+}  // namespace
+}  // namespace gputn::mem

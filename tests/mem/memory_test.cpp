@@ -1,0 +1,109 @@
+#include "mem/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+namespace gputn::mem {
+namespace {
+
+TEST(Memory, AllocRespectsAlignmentAndBounds) {
+  Memory m(1 << 20);
+  Addr a = m.alloc(100, 64);
+  Addr b = m.alloc(100, 64);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 100);
+  EXPECT_NE(a, 0u);  // address 0 is never handed out
+}
+
+TEST(Memory, AllocThrowsWhenExhausted) {
+  Memory m(4096);
+  EXPECT_THROW(m.alloc(1 << 20), std::bad_alloc);
+}
+
+TEST(Memory, AllocRejectsBadAlignment) {
+  Memory m(4096);
+  EXPECT_THROW(m.alloc(8, 3), std::invalid_argument);
+  EXPECT_THROW(m.alloc(8, 0), std::invalid_argument);
+}
+
+TEST(Memory, LoadStoreRoundTrip) {
+  Memory m(1 << 16);
+  Addr a = m.alloc(64);
+  m.store<std::uint64_t>(a, 0xdeadbeefcafe1234ull);
+  EXPECT_EQ(m.load<std::uint64_t>(a), 0xdeadbeefcafe1234ull);
+  m.store<double>(a + 8, 3.25);
+  EXPECT_DOUBLE_EQ(m.load<double>(a + 8), 3.25);
+}
+
+TEST(Memory, OutOfBoundsAccessThrows) {
+  Memory m(4096);
+  std::uint64_t v = 0;
+  EXPECT_THROW(m.read(4096, &v, 8), std::out_of_range);
+  EXPECT_THROW(m.write(4090, &v, 8), std::out_of_range);
+}
+
+TEST(Memory, TypedSpanViewsBackingStore) {
+  Memory m(1 << 16);
+  Addr a = m.alloc(sizeof(float) * 8, 64);
+  auto s = m.typed<float>(a, 8);
+  for (int i = 0; i < 8; ++i) s[i] = static_cast<float>(i);
+  EXPECT_FLOAT_EQ(m.load<float>(a + 4 * sizeof(float)), 4.0f);
+}
+
+TEST(Memory, BufferHelper) {
+  Memory m(1 << 16);
+  Buffer<std::uint32_t> buf(m, 16);
+  EXPECT_EQ(buf.size(), 16u);
+  EXPECT_EQ(buf.bytes(), 64u);
+  buf[3] = 77;
+  EXPECT_EQ(m.load<std::uint32_t>(buf.addr() + 3 * 4), 77u);
+}
+
+class RecordingHandler : public MmioHandler {
+ public:
+  void on_mmio_store(Addr addr, std::uint64_t value) override {
+    last_addr = addr;
+    last_value = value;
+    ++stores;
+  }
+  Addr last_addr = 0;
+  std::uint64_t last_value = 0;
+  int stores = 0;
+};
+
+TEST(Memory, MmioRoutesToHandler) {
+  Memory m(4096);
+  RecordingHandler h1, h2;
+  Addr w1 = m.map_mmio(8, &h1);
+  Addr w2 = m.map_mmio(8, &h2);
+  EXPECT_TRUE(m.is_mmio(w1));
+  EXPECT_NE(w1, w2);
+  m.mmio_store(w1, 42);
+  m.mmio_store(w2, 43);
+  EXPECT_EQ(h1.last_value, 42u);
+  EXPECT_EQ(h2.last_value, 43u);
+  EXPECT_EQ(h1.stores, 1);
+}
+
+TEST(Memory, MmioUnmappedThrows) {
+  Memory m(4096);
+  RecordingHandler h;
+  Addr w = m.map_mmio(8, &h);
+  EXPECT_THROW(m.mmio_store(w + 8, 1), std::out_of_range);
+  EXPECT_THROW(m.mmio_store(kMmioBase + (1 << 30), 1), std::out_of_range);
+}
+
+TEST(Memory, FunctionalAccessToMmioThrows) {
+  Memory m(4096);
+  RecordingHandler h;
+  Addr w = m.map_mmio(8, &h);
+  std::uint64_t v;
+  EXPECT_THROW(m.read(w, &v, 8), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace gputn::mem

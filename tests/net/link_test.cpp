@@ -1,0 +1,99 @@
+// Unit tests for the Link and Switch primitives in isolation.
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/switch.hpp"
+#include "sim/simulator.hpp"
+
+namespace gputn::net {
+namespace {
+
+Packet make_packet(std::uint32_t bytes, bool last = true) {
+  auto flight = std::make_shared<MessageInFlight>();
+  flight->packets_remaining = 1;
+  Packet p;
+  p.flight = std::move(flight);
+  p.wire_bytes = bytes;
+  p.last = last;
+  return p;
+}
+
+TEST(Link, SerializationPlusPropagation) {
+  sim::Simulator sim;
+  std::vector<sim::Tick> arrivals;
+  // 1 byte/ns, 100 ns propagation.
+  Link link(sim, "t", sim::Bandwidth::bytes_per_sec(1e9), sim::ns(100),
+            [&](Packet&&) { arrivals.push_back(sim.now()); });
+  link.submit(make_packet(500));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], sim::ns(600));
+  EXPECT_EQ(link.bytes_transmitted(), 500u);
+  EXPECT_EQ(link.packets_transmitted(), 1u);
+  sim.reap_processes();
+}
+
+TEST(Link, BackToBackPacketsPipelinePropagation) {
+  sim::Simulator sim;
+  std::vector<sim::Tick> arrivals;
+  Link link(sim, "t", sim::Bandwidth::bytes_per_sec(1e9), sim::ns(100),
+            [&](Packet&&) { arrivals.push_back(sim.now()); });
+  link.submit(make_packet(500));
+  link.submit(make_packet(500));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // Serialization occupies the wire (500 ns each); propagation overlaps.
+  EXPECT_EQ(arrivals[0], sim::ns(600));
+  EXPECT_EQ(arrivals[1], sim::ns(1100));
+  sim.reap_processes();
+}
+
+TEST(Switch, ForwardsToAttachedOutputAfterLatency) {
+  sim::Simulator sim;
+  std::vector<sim::Tick> arrivals;
+  Switch sw(sim, sim::ns(100));
+  Link out(sim, "out", sim::Bandwidth::bytes_per_sec(1e9), sim::ns(50),
+           [&](Packet&&) { arrivals.push_back(sim.now()); });
+  sw.attach_output(0, &out);
+
+  auto flight = std::make_shared<MessageInFlight>();
+  flight->msg.dst = 0;
+  flight->packets_remaining = 1;
+  Packet p;
+  p.flight = flight;
+  p.wire_bytes = 100;
+  sw.forward(std::move(p));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  // 100 ns switch + 100 ns serialization + 50 ns propagation.
+  EXPECT_EQ(arrivals[0], sim::ns(250));
+  EXPECT_EQ(sw.packets_forwarded(), 1u);
+  sim.reap_processes();
+}
+
+TEST(Switch, RejectsUnknownDestinations) {
+  sim::Simulator sim;
+  Switch sw(sim, sim::ns(100));
+  auto flight = std::make_shared<MessageInFlight>();
+  flight->msg.dst = 3;  // nothing attached
+  Packet p;
+  p.flight = flight;
+  p.wire_bytes = 64;
+  EXPECT_THROW(sw.forward(std::move(p)), std::out_of_range);
+}
+
+TEST(Switch, OutputsMustAttachInOrder) {
+  sim::Simulator sim;
+  Switch sw(sim, sim::ns(100));
+  Link out(sim, "out", sim::Bandwidth::bytes_per_sec(1e9), sim::ns(50),
+           [](Packet&&) {});
+  EXPECT_THROW(sw.attach_output(1, &out), std::logic_error);
+  sim.reap_processes();
+}
+
+}  // namespace
+}  // namespace gputn::net

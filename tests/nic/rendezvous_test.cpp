@@ -1,0 +1,218 @@
+// Eager/rendezvous protocol selection and completion queues.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "nic/nic.hpp"
+#include "sim/simulator.hpp"
+
+namespace gputn::nic {
+namespace {
+
+struct TwoNodes {
+  explicit TwoNodes(NicConfig cfg = NicConfig{}) {
+    for (int i = 0; i < 2; ++i) {
+      mems.push_back(std::make_unique<mem::Memory>(8 << 20));
+      nics.push_back(std::make_unique<Nic>(sim, *mems.back(), fabric, cfg));
+    }
+  }
+  ~TwoNodes() { sim.reap_processes(); }
+
+  mem::Memory& mem(int i) { return *mems[i]; }
+  Nic& nic(int i) { return *nics[i]; }
+  mem::Addr flag(int node) {
+    mem::Addr f = mem(node).alloc(8);
+    mem(node).store<std::uint64_t>(f, 0);
+    return f;
+  }
+
+  sim::Simulator sim;
+  net::Fabric fabric{sim, net::FabricConfig{}};
+  std::vector<std::unique_ptr<mem::Memory>> mems;
+  std::vector<std::unique_ptr<Nic>> nics;
+};
+
+void fill(mem::Memory& m, mem::Addr a, std::size_t n, std::uint64_t seed) {
+  for (std::size_t i = 0; i < n / 8; ++i) {
+    m.store<std::uint64_t>(a + i * 8, seed + i);
+  }
+}
+
+bool check(mem::Memory& m, mem::Addr a, std::size_t n, std::uint64_t seed) {
+  for (std::size_t i = 0; i < n / 8; ++i) {
+    if (m.load<std::uint64_t>(a + i * 8) != seed + i) return false;
+  }
+  return true;
+}
+
+TEST(Rendezvous, LargeSendUsesRtsPullData) {
+  NicConfig cfg;
+  cfg.eager_threshold = 1024;
+  TwoNodes t(cfg);
+  const std::size_t kBytes = 64 * 1024;
+  mem::Addr src = t.mem(0).alloc(kBytes);
+  mem::Addr dst = t.mem(1).alloc(kBytes);
+  fill(t.mem(0), src, kBytes, 42);
+  mem::Addr lflag = t.flag(0);
+  mem::Addr rflag = t.flag(1);
+
+  t.nic(1).post_recv(RecvDesc{0, 9, dst, kBytes, rflag, 1, 0});
+  t.nic(0).ring_doorbell(SendDesc{1, src, kBytes, 9, lflag, 1, 0});
+  t.sim.run();
+
+  EXPECT_EQ(t.mem(1).load<std::uint64_t>(rflag), 1u);
+  EXPECT_EQ(t.mem(0).load<std::uint64_t>(lflag), 1u);
+  EXPECT_TRUE(check(t.mem(1), dst, kBytes, 42));
+  EXPECT_EQ(t.nic(0).stats().counter_value("rendezvous_sends"), 1u);
+  EXPECT_EQ(t.nic(1).stats().counter_value("rts_received"), 1u);
+  EXPECT_EQ(t.nic(1).stats().counter_value("rendezvous_pulls"), 1u);
+  EXPECT_EQ(t.nic(0).stats().counter_value("rndv_pulls_received"), 1u);
+}
+
+TEST(Rendezvous, RtsBeforeRecvParksUntilMatched) {
+  NicConfig cfg;
+  cfg.eager_threshold = 512;
+  TwoNodes t(cfg);
+  const std::size_t kBytes = 4096;
+  mem::Addr src = t.mem(0).alloc(kBytes);
+  mem::Addr dst = t.mem(1).alloc(kBytes);
+  fill(t.mem(0), src, kBytes, 7);
+  mem::Addr rflag = t.flag(1);
+
+  t.nic(0).ring_doorbell(SendDesc{1, src, kBytes, 3, 0, 1, 0});
+  t.sim.run();
+  EXPECT_EQ(t.mem(1).load<std::uint64_t>(rflag), 0u);
+  // No large unexpected payload was buffered — only the RTS descriptor.
+  EXPECT_EQ(t.nic(1).unexpected_msgs(), 0);
+
+  t.nic(1).post_recv(RecvDesc{0, 3, dst, kBytes, rflag, 1, 0});
+  t.sim.run();
+  EXPECT_EQ(t.mem(1).load<std::uint64_t>(rflag), 1u);
+  EXPECT_TRUE(check(t.mem(1), dst, kBytes, 7));
+}
+
+TEST(Rendezvous, SmallSendsStayEager) {
+  NicConfig cfg;
+  cfg.eager_threshold = 4096;
+  TwoNodes t(cfg);
+  mem::Addr src = t.mem(0).alloc(1024);
+  mem::Addr dst = t.mem(1).alloc(1024);
+  mem::Addr rflag = t.flag(1);
+  t.nic(1).post_recv(RecvDesc{0, 1, dst, 1024, rflag, 1, 0});
+  t.nic(0).ring_doorbell(SendDesc{1, src, 1024, 1, 0, 1, 0});
+  t.sim.run();
+  EXPECT_EQ(t.mem(1).load<std::uint64_t>(rflag), 1u);
+  EXPECT_EQ(t.nic(0).stats().counter_value("rendezvous_sends"), 0u);
+}
+
+TEST(Rendezvous, SenderLocalCompletionAfterPullNotRts) {
+  NicConfig cfg;
+  cfg.eager_threshold = 512;
+  TwoNodes t(cfg);
+  const std::size_t kBytes = 8192;
+  mem::Addr src = t.mem(0).alloc(kBytes);
+  mem::Addr dst = t.mem(1).alloc(kBytes);
+  mem::Addr lflag = t.flag(0);
+
+  t.nic(0).ring_doorbell(SendDesc{1, src, kBytes, 5, lflag, 1, 0});
+  t.sim.run();
+  // Receive not yet posted: the buffer must NOT be marked reusable.
+  EXPECT_EQ(t.mem(0).load<std::uint64_t>(lflag), 0u);
+  t.nic(1).post_recv(RecvDesc{0, 5, dst, kBytes, 0, 1, 0});
+  t.sim.run();
+  EXPECT_EQ(t.mem(0).load<std::uint64_t>(lflag), 1u);
+}
+
+TEST(Rendezvous, TooSmallRecvBufferFaults) {
+  NicConfig cfg;
+  cfg.eager_threshold = 512;
+  TwoNodes t(cfg);
+  mem::Addr src = t.mem(0).alloc(8192);
+  mem::Addr dst = t.mem(1).alloc(1024);
+  t.nic(0).ring_doorbell(SendDesc{1, src, 8192, 5, 0, 1, 0});
+  t.sim.run();
+  EXPECT_THROW(t.nic(1).post_recv(RecvDesc{0, 5, dst, 1024, 0, 1, 0}),
+               std::runtime_error);
+}
+
+TEST(CompletionQueue, EntriesForPutSendRecv) {
+  TwoNodes t;
+  mem::Addr src = t.mem(0).alloc(256);
+  mem::Addr dst = t.mem(1).alloc(256);
+
+  PutDesc put;
+  put.target = 1;
+  put.local_addr = src;
+  put.bytes = 256;
+  put.remote_addr = dst;
+  put.cq_cookie = 111;
+  t.nic(0).ring_doorbell(put);
+  t.sim.run();
+  auto e = t.nic(0).cq_poll();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->cookie, 111u);
+  EXPECT_EQ(e->kind, 1u);
+  EXPECT_EQ(e->bytes, 256u);
+  EXPECT_FALSE(t.nic(0).cq_poll().has_value()) << "one entry per op";
+
+  t.nic(1).post_recv(RecvDesc{0, 4, dst, 256, 0, 1, /*cq_cookie=*/222});
+  t.nic(0).ring_doorbell(SendDesc{1, src, 256, 4, 0, 1, /*cq_cookie=*/333});
+  t.sim.run();
+  auto send_e = t.nic(0).cq_poll();
+  ASSERT_TRUE(send_e.has_value());
+  EXPECT_EQ(send_e->cookie, 333u);
+  EXPECT_EQ(send_e->kind, 2u);
+  auto recv_e = t.nic(1).cq_poll();
+  ASSERT_TRUE(recv_e.has_value());
+  EXPECT_EQ(recv_e->cookie, 222u);
+  EXPECT_EQ(recv_e->kind, 3u);
+}
+
+TEST(CompletionQueue, WaitSuspendsUntilCompletion) {
+  TwoNodes t;
+  mem::Addr src = t.mem(0).alloc(64);
+  mem::Addr dst = t.mem(1).alloc(64);
+  sim::Tick woke = -1;
+  t.sim.spawn(
+      [](TwoNodes& tt, sim::Tick& out) -> sim::Task<> {
+        CqEntry e = co_await tt.nic(0).cq_wait();
+        EXPECT_EQ(e.cookie, 99u);
+        out = tt.sim.now();
+      }(t, woke),
+      "cq-waiter");
+  t.sim.schedule_at(sim::us(5), [&] {
+    PutDesc put;
+    put.target = 1;
+    put.local_addr = src;
+    put.bytes = 64;
+    put.remote_addr = dst;
+    put.cq_cookie = 99;
+    t.nic(0).ring_doorbell(put);
+  });
+  t.sim.run();
+  EXPECT_GT(woke, sim::us(5));
+}
+
+TEST(CompletionQueue, RendezvousSidesBothComplete) {
+  NicConfig cfg;
+  cfg.eager_threshold = 512;
+  TwoNodes t(cfg);
+  mem::Addr src = t.mem(0).alloc(8192);
+  mem::Addr dst = t.mem(1).alloc(8192);
+  t.nic(1).post_recv(RecvDesc{0, 6, dst, 8192, 0, 1, /*cq_cookie=*/42});
+  t.nic(0).ring_doorbell(SendDesc{1, src, 8192, 6, 0, 1, /*cq_cookie=*/43});
+  t.sim.run();
+  auto s = t.nic(0).cq_poll();
+  auto r = t.nic(1).cq_poll();
+  ASSERT_TRUE(s.has_value());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(s->cookie, 43u);
+  EXPECT_EQ(r->cookie, 42u);
+  EXPECT_EQ(s->kind, 2u);
+  EXPECT_EQ(r->kind, 3u);
+}
+
+}  // namespace
+}  // namespace gputn::nic

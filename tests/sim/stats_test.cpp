@@ -1,0 +1,80 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace gputn::sim {
+namespace {
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+  EXPECT_NEAR(a.stddev(), 2.138, 1e-3);
+}
+
+TEST(Accumulator, EmptyIsSafe) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, ResetClears) {
+  Accumulator a;
+  a.add(10.0);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Histogram, BucketsByPowerOfTwo) {
+  Histogram h;
+  h.add(0);   // bucket 0
+  h.add(1);   // bucket 1
+  h.add(2);   // bucket 2
+  h.add(3);   // bucket 2
+  h.add(4);   // bucket 3
+  h.add(255); // bucket 8
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.bucket_count(8), 1u);
+  EXPECT_EQ(h.bucket_count(20), 0u);
+}
+
+TEST(StatRegistry, CountersAndAccumulators) {
+  StatRegistry r;
+  ++r.counter("puts");
+  ++r.counter("puts");
+  r.accumulator("latency").add(3.0);
+  EXPECT_EQ(r.counter_value("puts"), 2u);
+  EXPECT_EQ(r.counter_value("absent"), 0u);
+  EXPECT_EQ(r.accumulators().at("latency").count(), 1u);
+  EXPECT_NE(r.to_string().find("puts = 2"), std::string::npos);
+}
+
+TEST(Rng, DeterministicWithSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  }
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.uniform_int(5, 10);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 10);
+  }
+}
+
+}  // namespace
+}  // namespace gputn::sim

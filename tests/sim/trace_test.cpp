@@ -1,0 +1,104 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "sim/sync.hpp"
+
+namespace gputn::sim {
+namespace {
+
+TEST(Trace, SpansAndInstantsSerialize) {
+  TraceRecorder t;
+  t.span("lane.a", "work", "cat", us(1), us(3));
+  t.instant("lane.b", "tick", "cat", us(2));
+  EXPECT_EQ(t.event_count(), 2u);
+  std::string json = t.to_json();
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.000"), std::string::npos);
+  EXPECT_NE(json.find("lane.a"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+}
+
+TEST(Trace, EscapesQuotesInNames) {
+  TraceRecorder t;
+  t.instant("lane", "odd\"name", "cat", 0);
+  std::string json = t.to_json();
+  EXPECT_NE(json.find("odd\\\"name"), std::string::npos);
+}
+
+TEST(Trace, LanesGetStableIds) {
+  TraceRecorder t;
+  t.instant("x", "a", "c", 0);
+  t.instant("y", "b", "c", 0);
+  t.instant("x", "c", "c", 0);
+  std::string json = t.to_json();
+  // Two thread_name metadata records.
+  std::size_t first = json.find("thread_name");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(json.find("thread_name", first + 1), std::string::npos);
+}
+
+TEST(Trace, ClusterIntegrationCapturesGpuNicTrigger) {
+  Simulator sim;
+  cluster::SystemConfig cfg = cluster::SystemConfig::table2();
+  cfg.dram_bytes = 4u << 20;
+  cluster::Cluster cluster(sim, cfg, 2);
+  TraceRecorder trace;
+  cluster.enable_tracing(trace);
+
+  auto& a = cluster.node(0);
+  auto& b = cluster.node(1);
+  mem::Addr src = a.memory().alloc(64);
+  mem::Addr dst = b.memory().alloc(64);
+  mem::Addr flag = b.rt().alloc_flag();
+  sim.spawn(
+      [](cluster::Node& n, mem::Addr s, mem::Addr d, mem::Addr f)
+          -> Task<> {
+        nic::PutDesc put;
+        put.target = 1;
+        put.local_addr = s;
+        put.bytes = 64;
+        put.remote_addr = d;
+        put.remote_flag = f;
+        co_await n.rt().trig_put(1, 1, put);
+        mem::Addr trig = n.rt().trigger_addr();
+        gpu::KernelDesc k;
+        k.num_wgs = 1;
+        k.fn = [trig](gpu::WorkGroupCtx& ctx) -> Task<> {
+          co_await ctx.fence_system();
+          co_await ctx.store_system(trig, 1);
+        };
+        co_await n.rt().launch_sync(std::move(k));
+      }(a, src, dst, flag),
+      "host");
+  sim.run();
+
+  std::string json = trace.to_json();
+  EXPECT_NE(json.find("node0.gpu"), std::string::npos);
+  EXPECT_NE(json.find("node0.nic"), std::string::npos);
+  EXPECT_NE(json.find("node0.trig"), std::string::npos);
+  EXPECT_NE(json.find("node1.nic"), std::string::npos);
+  EXPECT_NE(json.find(":launch"), std::string::npos);
+  EXPECT_NE(json.find("tx:put"), std::string::npos);
+  EXPECT_NE(json.find("FIRE"), std::string::npos);
+  EXPECT_GT(trace.event_count(), 5u);
+}
+
+TEST(Trace, WriteJsonCreatesFile) {
+  TraceRecorder t;
+  t.span("lane", "s", "c", 0, ns(10));
+  std::string path = ::testing::TempDir() + "/gputn_trace_test.json";
+  ASSERT_TRUE(t.write_json(path));
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char head[2] = {0, 0};
+  ASSERT_EQ(std::fread(head, 1, 1, f), 1u);
+  std::fclose(f);
+  EXPECT_EQ(head[0], '[');
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gputn::sim

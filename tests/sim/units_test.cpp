@@ -1,0 +1,56 @@
+#include "sim/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gputn::sim {
+namespace {
+
+TEST(Units, IntegralConstructorsAreExact) {
+  EXPECT_EQ(ps(7), 7);
+  EXPECT_EQ(ns(1), 1'000);
+  EXPECT_EQ(us(1), 1'000'000);
+  EXPECT_EQ(ms(1), 1'000'000'000);
+  EXPECT_EQ(sec(1), 1'000'000'000'000);
+}
+
+TEST(Units, FloatingConstructorsRound) {
+  EXPECT_EQ(ns(1.5), 1'500);
+  EXPECT_EQ(us(1.5), 1'500'000);
+  EXPECT_EQ(ns(0.0001), 0);  // sub-picosecond rounds down
+  EXPECT_EQ(ns(0.0006), 1);  // ...and up
+}
+
+TEST(Units, RoundTripConversions) {
+  EXPECT_DOUBLE_EQ(to_ns(ns(123)), 123.0);
+  EXPECT_DOUBLE_EQ(to_us(us(41)), 41.0);
+  EXPECT_DOUBLE_EQ(to_ms(ms(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_sec(sec(2)), 2.0);
+}
+
+TEST(Bandwidth, SerializeMatchesRate) {
+  // 100 Gbps = 12.5 bytes/ns = 80 ps/byte.
+  auto bw = Bandwidth::gbps(100);
+  EXPECT_EQ(bw.serialize(1), 80);
+  EXPECT_EQ(bw.serialize(1250), ns(100));
+  EXPECT_EQ(bw.serialize(0), 0);
+}
+
+TEST(Bandwidth, GibpsAndBytesPerSec) {
+  auto a = Bandwidth::gibps(1);
+  EXPECT_DOUBLE_EQ(a.bytes_per_second(), 1024.0 * 1024 * 1024);
+  auto b = Bandwidth::bytes_per_sec(1e9);
+  // 1e9 B/s -> 1 byte per ns.
+  EXPECT_EQ(b.serialize(1), 1000);
+  EXPECT_FALSE(Bandwidth{}.valid());
+  EXPECT_TRUE(a.valid());
+}
+
+TEST(Units, FormatTimePicksScale) {
+  EXPECT_EQ(format_time(ps(5)), "5ps");
+  EXPECT_EQ(format_time(ns(100)), "100.000ns");
+  EXPECT_EQ(format_time(us(100)), "100.000us");
+  EXPECT_EQ(format_time(ms(100)), "100.000ms");
+}
+
+}  // namespace
+}  // namespace gputn::sim

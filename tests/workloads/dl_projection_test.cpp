@@ -1,0 +1,116 @@
+#include "workloads/dl_projection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/dl_traces.hpp"
+
+namespace gputn::workloads {
+namespace {
+
+TEST(DlTraces, Table3ValuesMatchThePaper) {
+  const auto& ws = table3_workloads();
+  ASSERT_EQ(ws.size(), 6u);
+  EXPECT_EQ(ws[0].name, "AlexNet");
+  EXPECT_DOUBLE_EQ(ws[0].pct_blocked, 0.14);
+  EXPECT_EQ(ws[0].reductions, 4672u);
+  EXPECT_EQ(ws[1].name, "AN4 LSTM");
+  EXPECT_DOUBLE_EQ(ws[1].pct_blocked, 0.50);
+  EXPECT_EQ(ws[1].reductions, 131192u);
+  EXPECT_EQ(ws[2].name, "CIFAR");
+  EXPECT_DOUBLE_EQ(ws[2].pct_blocked, 0.04);
+  EXPECT_EQ(ws[2].reductions, 939820u);
+  EXPECT_EQ(ws[3].name, "Large Synth");
+  EXPECT_DOUBLE_EQ(ws[3].pct_blocked, 0.28);
+  EXPECT_EQ(ws[3].reductions, 52800u);
+  EXPECT_EQ(ws[4].reductions, 900000u);
+  EXPECT_EQ(ws[5].reductions, 900000u);
+}
+
+TEST(DlTraces, BucketWeightsFormDistributions) {
+  for (const auto& w : table3_workloads()) {
+    double sum = 0.0;
+    for (double x : w.bucket_weight) {
+      EXPECT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << w.name;
+    EXPECT_GT(w.mean_bytes_per_reduction(), 0.0);
+  }
+}
+
+TEST(DlTraces, FormatTable3ContainsAllWorkloads) {
+  std::string t = format_table3();
+  for (const auto& w : table3_workloads()) {
+    EXPECT_NE(t.find(w.name), std::string::npos);
+  }
+}
+
+TEST(DlProjection, LatencyModelMemoizesAndOrdersBySize) {
+  cluster::SystemConfig sys = cluster::SystemConfig::table2();
+  AllreduceLatencyModel model(sys, /*nodes=*/4);
+  sim::Tick small = model.latency(Strategy::kGpuTn, 16 * 1024);
+  sim::Tick large = model.latency(Strategy::kGpuTn, 256 * 1024);
+  EXPECT_LT(small, large);
+  // Memoized: second call returns the identical value.
+  EXPECT_EQ(model.latency(Strategy::kGpuTn, 16 * 1024), small);
+}
+
+TEST(DlProjection, SmallReductionsFavorGpuTnOverHdn) {
+  cluster::SystemConfig sys = cluster::SystemConfig::table2();
+  AllreduceLatencyModel model(sys, 4);
+  // On small reductions the 3us/step kernel boundary dominates: GPU-TN
+  // must win by a wide margin.
+  sim::Tick hdn = model.latency(Strategy::kHdn, 16 * 1024);
+  sim::Tick tn = model.latency(Strategy::kGpuTn, 16 * 1024);
+  EXPECT_LT(tn, hdn);
+  EXPECT_GT(sim::to_us(hdn) / sim::to_us(tn), 1.5);
+}
+
+// Full projection over all six workloads on a 4-node cluster (8 nodes in
+// the paper figure; 4 keeps this integration test quick — the bench runs
+// the real configuration). Checks the Figure 11 orderings.
+TEST(DlProjection, Figure11OrderingsHold) {
+  DlProjectionConfig cfg;
+  cfg.nodes = 4;
+  auto projections =
+      project_dl_workloads(cfg, cluster::SystemConfig::table2());
+  ASSERT_EQ(projections.size(), 6u);
+
+  double best_tn_over_hdn = 0.0;
+  const DlProjection* cifar = nullptr;
+  const DlProjection* an4 = nullptr;
+  for (const auto& p : projections) {
+    // Normalization sanity: the normalize_to strategy has speedup 1.
+    EXPECT_NEAR(p.speedup.at(Strategy::kCpu), 1.0, 1e-12);
+    // GPU-TN >= GDS >= HDN for every workload.
+    EXPECT_GE(p.speedup.at(Strategy::kGpuTn),
+              p.speedup.at(Strategy::kGds) - 1e-12)
+        << p.workload.name;
+    EXPECT_GE(p.speedup.at(Strategy::kGds),
+              p.speedup.at(Strategy::kHdn) - 1e-12)
+        << p.workload.name;
+    // Compute time inference is consistent with Table 3's %Blocked.
+    double b = p.comm_seconds.at(Strategy::kHdn) /
+               (p.comm_seconds.at(Strategy::kHdn) + p.compute_seconds);
+    EXPECT_NEAR(b, p.workload.pct_blocked, 1e-9) << p.workload.name;
+
+    double tn_over_hdn = p.speedup.at(Strategy::kGpuTn) /
+                         p.speedup.at(Strategy::kHdn);
+    best_tn_over_hdn = std::max(best_tn_over_hdn, tn_over_hdn);
+    if (p.workload.name == "CIFAR") cifar = &p;
+    if (p.workload.name == "AN4 LSTM") an4 = &p;
+  }
+  ASSERT_NE(cifar, nullptr);
+  ASSERT_NE(an4, nullptr);
+  // Figure 11: AN4 LSTM benefits most, CIFAR least.
+  double an4_gain = an4->speedup.at(Strategy::kGpuTn) /
+                    an4->speedup.at(Strategy::kHdn);
+  double cifar_gain = cifar->speedup.at(Strategy::kGpuTn) /
+                      cifar->speedup.at(Strategy::kHdn);
+  EXPECT_GT(an4_gain, cifar_gain);
+  EXPECT_LT(cifar_gain, 1.10) << "CIFAR shows little improvement (paper)";
+  EXPECT_GT(best_tn_over_hdn, 1.05) << "some workload gains noticeably";
+}
+
+}  // namespace
+}  // namespace gputn::workloads

@@ -1,0 +1,126 @@
+#include "workloads/microbench.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gputn::workloads {
+namespace {
+
+class MicrobenchAllStrategies : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(MicrobenchAllStrategies, DeliversThePayload) {
+  MicrobenchResult res = run_microbench(GetParam());
+  EXPECT_TRUE(res.payload_correct) << strategy_name(GetParam());
+  EXPECT_GT(res.target_completion, 0);
+  EXPECT_GT(res.initiator_completion, 0);
+}
+
+TEST_P(MicrobenchAllStrategies, IsDeterministic) {
+  MicrobenchResult a = run_microbench(GetParam());
+  MicrobenchResult b = run_microbench(GetParam());
+  EXPECT_EQ(a.target_completion, b.target_completion);
+  EXPECT_EQ(a.initiator_completion, b.initiator_completion);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, MicrobenchAllStrategies,
+                         ::testing::Values(Strategy::kCpu, Strategy::kHdn,
+                                           Strategy::kGds, Strategy::kGpuTn,
+                                           Strategy::kGhn, Strategy::kGnn),
+                         [](const auto& info) {
+                           std::string n = strategy_name(info.param);
+                           std::erase(n, '-');
+                           return n;
+                         });
+
+TEST(Microbench, Figure8OrderingHolds) {
+  auto hdn = run_microbench(Strategy::kHdn);
+  auto gds = run_microbench(Strategy::kGds);
+  auto tn = run_microbench(Strategy::kGpuTn);
+  // §5.2: GPU-TN beats GDS beats HDN on end-to-end latency.
+  EXPECT_LT(tn.end_to_end(), gds.end_to_end());
+  EXPECT_LT(gds.end_to_end(), hdn.end_to_end());
+}
+
+TEST(Microbench, Figure8UpliftMagnitudes) {
+  auto hdn = run_microbench(Strategy::kHdn);
+  auto gds = run_microbench(Strategy::kGds);
+  auto tn = run_microbench(Strategy::kGpuTn);
+  double vs_hdn = 1.0 - sim::to_us(tn.end_to_end()) / sim::to_us(hdn.end_to_end());
+  double vs_gds = 1.0 - sim::to_us(tn.end_to_end()) / sim::to_us(gds.end_to_end());
+  // Paper: ~35% over HDN, ~25% over GDS. Accept the right neighbourhood.
+  EXPECT_GT(vs_hdn, 0.25);
+  EXPECT_LT(vs_hdn, 0.50);
+  EXPECT_GT(vs_gds, 0.15);
+  EXPECT_LT(vs_gds, 0.40);
+}
+
+TEST(Microbench, GpuTnTargetCompletesBeforeInitiatorKernelEnds) {
+  // The §5.2 observation: with intra-kernel networking, "the target node
+  // receives the network data before the kernel on the initiator
+  // completes."
+  auto tn = run_microbench(Strategy::kGpuTn);
+  EXPECT_LT(tn.target_completion, tn.initiator_completion);
+  // Kernel-boundary strategies cannot do this.
+  auto gds = run_microbench(Strategy::kGds);
+  EXPECT_GT(gds.target_completion, gds.initiator_completion);
+}
+
+TEST(Microbench, PhaseDecompositionIsContiguousForGpuStrategies) {
+  for (Strategy s : {Strategy::kHdn, Strategy::kGds, Strategy::kGpuTn}) {
+    auto res = run_microbench(s);
+    ASSERT_GE(res.initiator_phases.size(), 3u) << strategy_name(s);
+    for (std::size_t i = 1; i < res.initiator_phases.size(); ++i) {
+      EXPECT_GE(res.initiator_phases[i].begin,
+                res.initiator_phases[i - 1].end - sim::ns(1))
+          << strategy_name(s);
+    }
+    // Launch and teardown are the calibrated 1.5 us each (§5.1).
+    EXPECT_NEAR(res.initiator_phases[0].us(), 1.5, 0.01);
+  }
+}
+
+TEST(Microbench, Table1TaxonomyOrdering) {
+  // §5.1.1's qualitative comparison, quantified: GPU-TN beats GHN (no
+  // critical-path CPU stack), GHN beats GNN (CPU builds packets faster
+  // than a GPU lane), and all intra-kernel schemes beat kernel-boundary
+  // ones on this fine-grained message.
+  auto tn = run_microbench(Strategy::kGpuTn);
+  auto ghn = run_microbench(Strategy::kGhn);
+  auto gnn = run_microbench(Strategy::kGnn);
+  auto gds = run_microbench(Strategy::kGds);
+  EXPECT_LT(tn.end_to_end(), ghn.end_to_end());
+  EXPECT_LT(ghn.end_to_end(), gnn.end_to_end());
+  EXPECT_LT(gnn.end_to_end(), gds.end_to_end());
+}
+
+TEST(Microbench, IntraKernelStrategiesDeliverBeforeKernelEnd) {
+  for (Strategy s : {Strategy::kGpuTn, Strategy::kGhn, Strategy::kGnn}) {
+    auto res = run_microbench(s);
+    EXPECT_LT(res.target_completion, res.initiator_completion)
+        << strategy_name(s);
+  }
+}
+
+TEST(Microbench, GhnBurnsAHelperThread) {
+  // The cost Table 1 lists for GPU Host Networking: a dedicated service
+  // thread polls on the host for the whole run.
+  auto res = run_microbench(Strategy::kGhn);
+  EXPECT_TRUE(res.payload_correct);
+}
+
+TEST(Microbench, KernelLaunchDominatesGpuStrategies) {
+  // Figure 8: most of the initiator time is kernel launch/teardown, which
+  // is precisely the motivation for intra-kernel networking.
+  auto tn = run_microbench(Strategy::kGpuTn);
+  sim::Tick overhead = 0, kernel = 0;
+  for (const auto& ph : tn.initiator_phases) {
+    if (ph.label == "launch" || ph.label == "teardown") {
+      overhead += ph.end - ph.begin;
+    } else if (ph.label == "kernel") {
+      kernel += ph.end - ph.begin;
+    }
+  }
+  EXPECT_GT(overhead, 4 * kernel);
+}
+
+}  // namespace
+}  // namespace gputn::workloads

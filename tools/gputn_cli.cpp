@@ -1,0 +1,168 @@
+// gputn — command-line driver for the simulation experiments.
+//
+//   gputn config
+//   gputn microbench [--strategy CPU|HDN|GDS|GPU-TN|GHN|GNN]
+//   gputn jacobi     [--strategy S] [--n N] [--iterations K] [--overlap]
+//   gputn allreduce  [--strategy S] [--nodes N] [--mb M] [--offload]
+//   gputn broadcast  [--drive HDN|GPU-TN|NIC-chain] [--nodes N] [--mb M]
+//                    [--chunks C]
+//
+// Exit code is nonzero on verification failure. For Chrome-tracing
+// timeline capture, see examples/trace_capture.cpp.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workloads/allreduce.hpp"
+#include "workloads/broadcast.hpp"
+#include "workloads/jacobi.hpp"
+#include "workloads/microbench.hpp"
+
+using namespace gputn;
+using namespace gputn::workloads;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: gputn <config|microbench|jacobi|allreduce|broadcast> [opts]\n"
+      "  common: --strategy CPU|HDN|GDS|GPU-TN (+GHN|GNN for microbench)\n"
+      "  jacobi: --n <grid> --iterations <k> --overlap\n"
+      "  allreduce: --nodes <n> --mb <size> --offload\n"
+      "  broadcast: --drive HDN|GPU-TN|NIC-chain --nodes <n> --mb <size> "
+      "--chunks <c>\n");
+  std::exit(2);
+}
+
+/// Tiny flag parser: --key value and boolean --key.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) usage();
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+  bool has(const std::string& k) const { return values_.count(k) > 0; }
+  std::string get(const std::string& k, const std::string& dflt) const {
+    auto it = values_.find(k);
+    return it != values_.end() && !it->second.empty() ? it->second : dflt;
+  }
+  long get_int(const std::string& k, long dflt) const {
+    auto it = values_.find(k);
+    return it != values_.end() ? std::atol(it->second.c_str()) : dflt;
+  }
+  double get_double(const std::string& k, double dflt) const {
+    auto it = values_.find(k);
+    return it != values_.end() ? std::atof(it->second.c_str()) : dflt;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+Strategy parse_strategy(const std::string& s) {
+  for (Strategy st : kTaxonomyStrategies) {
+    if (s == strategy_name(st)) return st;
+  }
+  std::fprintf(stderr, "unknown strategy '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+BroadcastDrive parse_drive(const std::string& s) {
+  for (BroadcastDrive d : {BroadcastDrive::kHdn, BroadcastDrive::kGpuTn,
+                           BroadcastDrive::kNicChain}) {
+    if (s == broadcast_drive_name(d)) return d;
+  }
+  std::fprintf(stderr, "unknown drive '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+int cmd_config() {
+  std::printf("%s", cluster::SystemConfig::table2().describe().c_str());
+  return 0;
+}
+
+int cmd_microbench(const Args& args) {
+  Strategy s = parse_strategy(args.get("strategy", "GPU-TN"));
+  MicrobenchResult res = run_microbench(s);
+  std::printf("%s one-cache-line microbenchmark:\n", strategy_name(s));
+  for (const auto& ph : res.initiator_phases) {
+    std::printf("  %-10s %.3f us\n", ph.label.c_str(), ph.us());
+  }
+  std::printf("  target completion   %.3f us\n",
+              sim::to_us(res.target_completion));
+  std::printf("  initiator complete  %.3f us\n",
+              sim::to_us(res.initiator_completion));
+  std::printf("  payload %s\n", res.payload_correct ? "verified" : "WRONG");
+  return res.payload_correct ? 0 : 1;
+}
+
+int cmd_jacobi(const Args& args) {
+  JacobiConfig cfg;
+  cfg.strategy = parse_strategy(args.get("strategy", "GPU-TN"));
+  cfg.n = static_cast<int>(args.get_int("n", 256));
+  cfg.iterations = static_cast<int>(args.get_int("iterations", 10));
+  cfg.overlap = args.has("overlap");
+  JacobiResult res = run_jacobi(cfg);
+  std::printf("%s Jacobi %dx%d x%d iters: %.2f us total, %.2f us/iter, %s\n",
+              strategy_name(cfg.strategy), cfg.n, cfg.n, cfg.iterations,
+              sim::to_us(res.total_time), sim::to_us(res.per_iteration()),
+              res.correct ? "verified" : "NUMERICS MISMATCH");
+  return res.correct ? 0 : 1;
+}
+
+int cmd_allreduce(const Args& args) {
+  AllreduceConfig cfg;
+  cfg.strategy = parse_strategy(args.get("strategy", "GPU-TN"));
+  cfg.nodes = static_cast<int>(args.get_int("nodes", 8));
+  cfg.elements =
+      static_cast<std::size_t>(args.get_double("mb", 8.0) * 1024 * 1024 / 4);
+  cfg.nic_offload_allgather = args.has("offload");
+  AllreduceResult res = run_allreduce(cfg);
+  std::printf("%s allreduce, %zu fp32 x %d nodes%s: %.1f us, %s\n",
+              strategy_name(cfg.strategy), cfg.elements, cfg.nodes,
+              cfg.nic_offload_allgather ? " (NIC-offloaded allgather)" : "",
+              sim::to_us(res.total_time),
+              res.correct ? "exact" : "REDUCTION MISMATCH");
+  return res.correct ? 0 : 1;
+}
+
+int cmd_broadcast(const Args& args) {
+  BroadcastConfig cfg;
+  cfg.drive = parse_drive(args.get("drive", "NIC-chain"));
+  cfg.nodes = static_cast<int>(args.get_int("nodes", 8));
+  cfg.bytes =
+      static_cast<std::size_t>(args.get_double("mb", 1.0) * 1024 * 1024);
+  cfg.chunks = static_cast<int>(args.get_int("chunks", 16));
+  BroadcastResult res = run_broadcast(cfg);
+  std::printf("%s broadcast, %zu B x %d nodes, %d chunks: %.1f us, %s\n",
+              broadcast_drive_name(cfg.drive), cfg.bytes, cfg.nodes,
+              cfg.chunks, sim::to_us(res.total_time),
+              res.correct ? "verified" : "DATA MISMATCH");
+  return res.correct ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  std::string cmd = argv[1];
+  Args args(argc, argv, 2);
+  if (cmd == "config") return cmd_config();
+  if (cmd == "microbench") return cmd_microbench(args);
+  if (cmd == "jacobi") return cmd_jacobi(args);
+  if (cmd == "allreduce") return cmd_allreduce(args);
+  if (cmd == "broadcast") return cmd_broadcast(args);
+  usage();
+}
