@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_broadcast.dir/abl_broadcast.cpp.o"
+  "CMakeFiles/abl_broadcast.dir/abl_broadcast.cpp.o.d"
+  "abl_broadcast"
+  "abl_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

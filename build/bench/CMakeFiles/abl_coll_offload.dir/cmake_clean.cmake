@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_coll_offload.dir/abl_coll_offload.cpp.o"
+  "CMakeFiles/abl_coll_offload.dir/abl_coll_offload.cpp.o.d"
+  "abl_coll_offload"
+  "abl_coll_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_coll_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dynamic.dir/abl_dynamic.cpp.o"
+  "CMakeFiles/abl_dynamic.dir/abl_dynamic.cpp.o.d"
+  "abl_dynamic"
+  "abl_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_jacobi_overlap.dir/abl_jacobi_overlap.cpp.o"
+  "CMakeFiles/abl_jacobi_overlap.dir/abl_jacobi_overlap.cpp.o.d"
+  "abl_jacobi_overlap"
+  "abl_jacobi_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_jacobi_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_launch_sweep.dir/abl_launch_sweep.cpp.o"
+  "CMakeFiles/abl_launch_sweep.dir/abl_launch_sweep.cpp.o.d"
+  "abl_launch_sweep"
+  "abl_launch_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_launch_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

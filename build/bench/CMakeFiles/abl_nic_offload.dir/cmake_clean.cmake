@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_nic_offload.dir/abl_nic_offload.cpp.o"
+  "CMakeFiles/abl_nic_offload.dir/abl_nic_offload.cpp.o.d"
+  "abl_nic_offload"
+  "abl_nic_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_nic_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_relaxed_sync.dir/abl_relaxed_sync.cpp.o"
+  "CMakeFiles/abl_relaxed_sync.dir/abl_relaxed_sync.cpp.o.d"
+  "abl_relaxed_sync"
+  "abl_relaxed_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_relaxed_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

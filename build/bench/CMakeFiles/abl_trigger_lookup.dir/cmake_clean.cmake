@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_trigger_lookup.dir/abl_trigger_lookup.cpp.o"
+  "CMakeFiles/abl_trigger_lookup.dir/abl_trigger_lookup.cpp.o.d"
+  "abl_trigger_lookup"
+  "abl_trigger_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_trigger_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_kernel_launch.dir/fig01_kernel_launch.cpp.o"
+  "CMakeFiles/fig01_kernel_launch.dir/fig01_kernel_launch.cpp.o.d"
+  "fig01_kernel_launch"
+  "fig01_kernel_launch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_kernel_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_timelines.dir/fig03_timelines.cpp.o"
+  "CMakeFiles/fig03_timelines.dir/fig03_timelines.cpp.o.d"
+  "fig03_timelines"
+  "fig03_timelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_timelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_latency_decomposition.dir/fig08_latency_decomposition.cpp.o"
+  "CMakeFiles/fig08_latency_decomposition.dir/fig08_latency_decomposition.cpp.o.d"
+  "fig08_latency_decomposition"
+  "fig08_latency_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_latency_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_jacobi.dir/fig09_jacobi.cpp.o"
+  "CMakeFiles/fig09_jacobi.dir/fig09_jacobi.cpp.o.d"
+  "fig09_jacobi"
+  "fig09_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

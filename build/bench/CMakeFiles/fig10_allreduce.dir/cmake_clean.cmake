@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_allreduce.dir/fig10_allreduce.cpp.o"
+  "CMakeFiles/fig10_allreduce.dir/fig10_allreduce.cpp.o.d"
+  "fig10_allreduce"
+  "fig10_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

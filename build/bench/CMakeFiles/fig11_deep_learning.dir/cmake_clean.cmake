@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_deep_learning.dir/fig11_deep_learning.cpp.o"
+  "CMakeFiles/fig11_deep_learning.dir/fig11_deep_learning.cpp.o.d"
+  "fig11_deep_learning"
+  "fig11_deep_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_deep_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_taxonomy.dir/tab01_taxonomy.cpp.o"
+  "CMakeFiles/tab01_taxonomy.dir/tab01_taxonomy.cpp.o.d"
+  "tab01_taxonomy"
+  "tab01_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_dl_workloads.dir/tab03_dl_workloads.cpp.o"
+  "CMakeFiles/tab03_dl_workloads.dir/tab03_dl_workloads.cpp.o.d"
+  "tab03_dl_workloads"
+  "tab03_dl_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_dl_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allreduce_ring.dir/allreduce_ring.cpp.o"
+  "CMakeFiles/allreduce_ring.dir/allreduce_ring.cpp.o.d"
+  "allreduce_ring"
+  "allreduce_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allreduce_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi_halo.dir/jacobi_halo.cpp.o"
+  "CMakeFiles/jacobi_halo.dir/jacobi_halo.cpp.o.d"
+  "jacobi_halo"
+  "jacobi_halo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

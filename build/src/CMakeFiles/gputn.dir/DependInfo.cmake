@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/gputn.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/config.cpp" "src/CMakeFiles/gputn.dir/cluster/config.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/cluster/config.cpp.o.d"
+  "/root/repo/src/core/trigger_table.cpp" "src/CMakeFiles/gputn.dir/core/trigger_table.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/core/trigger_table.cpp.o.d"
+  "/root/repo/src/core/triggered.cpp" "src/CMakeFiles/gputn.dir/core/triggered.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/core/triggered.cpp.o.d"
+  "/root/repo/src/cpu/cpu.cpp" "src/CMakeFiles/gputn.dir/cpu/cpu.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/cpu/cpu.cpp.o.d"
+  "/root/repo/src/gpu/gpu.cpp" "src/CMakeFiles/gputn.dir/gpu/gpu.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/gpu/gpu.cpp.o.d"
+  "/root/repo/src/gpu/launch_model.cpp" "src/CMakeFiles/gputn.dir/gpu/launch_model.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/gpu/launch_model.cpp.o.d"
+  "/root/repo/src/mem/dma.cpp" "src/CMakeFiles/gputn.dir/mem/dma.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/mem/dma.cpp.o.d"
+  "/root/repo/src/mem/memory.cpp" "src/CMakeFiles/gputn.dir/mem/memory.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/mem/memory.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/CMakeFiles/gputn.dir/net/fabric.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/net/fabric.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/gputn.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/CMakeFiles/gputn.dir/net/switch.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/net/switch.cpp.o.d"
+  "/root/repo/src/nic/nic.cpp" "src/CMakeFiles/gputn.dir/nic/nic.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/nic/nic.cpp.o.d"
+  "/root/repo/src/rt/collectives.cpp" "src/CMakeFiles/gputn.dir/rt/collectives.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/rt/collectives.cpp.o.d"
+  "/root/repo/src/rt/runtime.cpp" "src/CMakeFiles/gputn.dir/rt/runtime.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/rt/runtime.cpp.o.d"
+  "/root/repo/src/sim/log.cpp" "src/CMakeFiles/gputn.dir/sim/log.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/sim/log.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/gputn.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/gputn.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/gputn.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/workloads/allreduce.cpp" "src/CMakeFiles/gputn.dir/workloads/allreduce.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/workloads/allreduce.cpp.o.d"
+  "/root/repo/src/workloads/broadcast.cpp" "src/CMakeFiles/gputn.dir/workloads/broadcast.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/workloads/broadcast.cpp.o.d"
+  "/root/repo/src/workloads/dl_projection.cpp" "src/CMakeFiles/gputn.dir/workloads/dl_projection.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/workloads/dl_projection.cpp.o.d"
+  "/root/repo/src/workloads/dl_traces.cpp" "src/CMakeFiles/gputn.dir/workloads/dl_traces.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/workloads/dl_traces.cpp.o.d"
+  "/root/repo/src/workloads/jacobi.cpp" "src/CMakeFiles/gputn.dir/workloads/jacobi.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/workloads/jacobi.cpp.o.d"
+  "/root/repo/src/workloads/microbench.cpp" "src/CMakeFiles/gputn.dir/workloads/microbench.cpp.o" "gcc" "src/CMakeFiles/gputn.dir/workloads/microbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

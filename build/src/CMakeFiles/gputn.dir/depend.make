@@ -1,0 +1,2 @@
+# Empty dependencies file for gputn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/chains_test.cpp" "tests/CMakeFiles/core_test.dir/core/chains_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/chains_test.cpp.o.d"
+  "/root/repo/tests/core/dynamic_test.cpp" "tests/CMakeFiles/core_test.dir/core/dynamic_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/dynamic_test.cpp.o.d"
+  "/root/repo/tests/core/fuzz_test.cpp" "tests/CMakeFiles/core_test.dir/core/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/fuzz_test.cpp.o.d"
+  "/root/repo/tests/core/trigger_table_test.cpp" "tests/CMakeFiles/core_test.dir/core/trigger_table_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/trigger_table_test.cpp.o.d"
+  "/root/repo/tests/core/triggered_test.cpp" "tests/CMakeFiles/core_test.dir/core/triggered_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/triggered_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gputn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

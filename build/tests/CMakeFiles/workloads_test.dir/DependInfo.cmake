@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads/allreduce_test.cpp" "tests/CMakeFiles/workloads_test.dir/workloads/allreduce_test.cpp.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads/allreduce_test.cpp.o.d"
+  "/root/repo/tests/workloads/broadcast_test.cpp" "tests/CMakeFiles/workloads_test.dir/workloads/broadcast_test.cpp.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads/broadcast_test.cpp.o.d"
+  "/root/repo/tests/workloads/dl_projection_test.cpp" "tests/CMakeFiles/workloads_test.dir/workloads/dl_projection_test.cpp.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads/dl_projection_test.cpp.o.d"
+  "/root/repo/tests/workloads/jacobi_test.cpp" "tests/CMakeFiles/workloads_test.dir/workloads/jacobi_test.cpp.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads/jacobi_test.cpp.o.d"
+  "/root/repo/tests/workloads/microbench_test.cpp" "tests/CMakeFiles/workloads_test.dir/workloads/microbench_test.cpp.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads/microbench_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gputn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gputn_cli.dir/gputn_cli.cpp.o"
+  "CMakeFiles/gputn_cli.dir/gputn_cli.cpp.o.d"
+  "gputn"
+  "gputn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gputn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
