@@ -1,0 +1,53 @@
+// Ablation: GPU-TN allreduce under increasing packet loss.
+//
+// The paper assumes a lossless fabric; this sweep shows what end-to-end
+// NIC reliability (fault/reliability.hpp) costs when the fabric is not.
+// Each row injects a uniform per-packet loss rate on every link and reports
+// completion time, retransmissions, and the injected-drop count. Loss 0 is
+// the exact lossless protocol (the reliability layer stays disabled), so the
+// first row doubles as the zero-overhead baseline.
+#include <cstdio>
+
+#include "workloads/allreduce.hpp"
+
+using namespace gputn;
+using namespace gputn::workloads;
+
+int main() {
+  const int nodes = 8;
+  const std::size_t elements = 256 * 1024;  // 1 MiB vector
+  std::printf("GPU-TN allreduce, %d nodes, %zu KiB, loss-rate sweep\n\n",
+              nodes, elements * sizeof(float) / 1024);
+  std::printf("%8s %12s %10s %8s %8s %8s %10s  %s\n", "loss", "time",
+              "vs 0", "drops", "retx", "acks", "timeo_us", "ok");
+
+  double base = 0.0;
+  for (double loss : {0.0, 0.001, 0.005, 0.01, 0.02, 0.05}) {
+    AllreduceConfig cfg;
+    cfg.strategy = Strategy::kGpuTn;
+    cfg.nodes = nodes;
+    cfg.elements = elements;
+    auto sys = cluster::SystemConfig::table2_with_loss(loss, /*seed=*/1);
+    AllreduceResult res = run_allreduce(cfg, sys);
+    double us = sim::to_us(res.total_time);
+    if (loss == 0.0) base = us;
+    const auto& s = res.net_stats;
+    std::printf("%7.2f%% %10.1fus %9.2fx %8llu %8llu %8llu %10.1f  %s\n",
+                100.0 * loss, us, us / base,
+                static_cast<unsigned long long>(s.counter_value("fault.drops")),
+                static_cast<unsigned long long>(
+                    s.counter_value("rel.retransmits")),
+                static_cast<unsigned long long>(s.counter_value("rel.acks_tx")),
+                s.accumulators().count("rel.timeout_us")
+                    ? s.accumulators().at("rel.timeout_us").mean()
+                    : 0.0,
+                res.correct ? "ok" : "[DATA MISMATCH]");
+  }
+  std::printf(
+      "\nRecovery is timeout-driven (base RTO 100 us + 1 ns/B), so each\n"
+      "dropped chunk stalls its ring slot for ~an RTO; pipelining across\n"
+      "slices hides isolated drops until the loss rate makes stalls the\n"
+      "common case. ACK traffic is the steady-state overhead: one small\n"
+      "control message per data message.\n");
+  return 0;
+}

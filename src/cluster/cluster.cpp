@@ -14,10 +14,43 @@ Node::Node(sim::Simulator& sim, net::Fabric& fabric,
       rt_(sim, cpu_, gpu_, nic_, triggered_, memory_) {}
 
 Cluster::Cluster(sim::Simulator& sim, SystemConfig config, int node_count)
-    : sim_(&sim), config_(config), fabric_(sim, config.fabric) {
+    : sim_(&sim), config_(std::move(config)), fabric_(sim, config_.fabric) {
+  if (config_.fault.enabled()) {
+    // Faults on the wire: install the injectors and switch every NIC to
+    // reliable delivery before any node (and thus any link) is built.
+    fault_ = std::make_unique<fault::FaultModel>(config_.fault);
+    fabric_.set_fault_injector_provider([this](const std::string& name) {
+      return fault_->injector_for(name);
+    });
+    config_.nic.reliability.enabled = true;
+  }
   nodes_.reserve(node_count);
   for (int i = 0; i < node_count; ++i) {
     nodes_.push_back(std::make_unique<Node>(sim, fabric_, config_));
+  }
+}
+
+void Cluster::export_net_stats(sim::StatRegistry& out) const {
+  fabric_.export_stats(out);
+  if (fault_) fault_->export_stats(out);
+  for (const auto& node : nodes_) {
+    const sim::StatRegistry& s = node->nic().stats();
+    for (const auto& [name, value] : s.counters()) {
+      if (name.rfind("rel.", 0) == 0) out.counter(name) += value;
+    }
+    for (const auto& [name, acc] : s.accumulators()) {
+      if (name.rfind("rel.", 0) != 0) continue;
+      // Accumulators cannot be merged exactly; nodes contribute their raw
+      // samples via the mean×count identity only when the slot is fresh,
+      // otherwise fold in sum/extrema which is what reports consume.
+      sim::Accumulator& dst = out.accumulator(name);
+      for (std::uint64_t i = 0; i < acc.count(); ++i) {
+        // Re-adding the mean preserves count/sum/mean; min/max degrade to
+        // the mean, acceptable for the aggregate view (per-node registries
+        // keep the exact distributions).
+        dst.add(acc.mean());
+      }
+    }
   }
 }
 

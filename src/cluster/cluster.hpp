@@ -9,11 +9,13 @@
 #include "cluster/config.hpp"
 #include "core/triggered.hpp"
 #include "cpu/cpu.hpp"
+#include "fault/fault.hpp"
 #include "gpu/gpu.hpp"
 #include "mem/memory.hpp"
 #include "net/fabric.hpp"
 #include "nic/nic.hpp"
 #include "rt/runtime.hpp"
+#include "sim/stats.hpp"
 #include "sim/trace.hpp"
 
 namespace gputn::cluster {
@@ -61,9 +63,21 @@ class Cluster {
   Node& node(int i) { return *nodes_.at(i); }
   rt::NodeRuntime& rt(int i) { return node(i).rt(); }
 
+  /// The fault model driving this cluster's links, or nullptr when the
+  /// config has fault injection disabled.
+  fault::FaultModel* fault_model() { return fault_.get(); }
+
+  /// Merge fabric counters (net.*), injected-fault counters (fault.*), and
+  /// every node's reliability counters (rel.*, summed across nodes) into
+  /// `out`. Deterministic: iteration orders are all sorted-map based.
+  void export_net_stats(sim::StatRegistry& out) const;
+
  private:
   sim::Simulator* sim_;
   SystemConfig config_;
+  /// Owned before fabric_ so link callbacks into injectors stay valid for
+  /// the fabric's whole lifetime.
+  std::unique_ptr<fault::FaultModel> fault_;
   net::Fabric fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };

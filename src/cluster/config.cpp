@@ -25,6 +25,13 @@ SystemConfig SystemConfig::table2() {
   return c;
 }
 
+SystemConfig SystemConfig::table2_with_loss(double loss_rate,
+                                            std::uint64_t seed) {
+  SystemConfig c = table2();
+  c.fault = fault::FaultConfig::uniform_loss(loss_rate, seed);
+  return c;
+}
+
 std::string SystemConfig::describe() const {
   char buf[2048];
   std::snprintf(
@@ -34,6 +41,7 @@ std::string SystemConfig::describe() const {
       "NIC:      doorbell %.0f ns, cmd fetch %.0f ns, rx pipe %.0f ns\n"
       "Trigger:  lookup=%s, entries=%d, update %.0f ns\n"
       "Network:  %.0f Gbps, link %.0f ns, switch %.0f ns, MTU %u B, star\n"
+      "Faults:   %s (loss %.4f, corrupt %.4f, jitter <= %.0f ns, %zu scripted)\n"
       "DRAM:     %llu MiB per node\n",
       cpu.cores, cpu.clock_ghz, cpu.flops_per_core_per_cycle,
       cpu.mem_bandwidth.bytes_per_second() / 1e9, gpu.cu_count, gpu.clock_ghz,
@@ -47,6 +55,9 @@ std::string SystemConfig::describe() const {
       fabric.bandwidth.bytes_per_second() * 8 / 1e9,
       sim::to_ns(fabric.link_latency), sim::to_ns(fabric.switch_latency),
       fabric.mtu_bytes,
+      fault.enabled() ? "injected (reliable delivery on)" : "none (lossless)",
+      fault.default_profile.loss_rate, fault.default_profile.corrupt_rate,
+      sim::to_ns(fault.default_profile.jitter_max), fault.script.size(),
       static_cast<unsigned long long>(dram_bytes >> 20));
   return buf;
 }

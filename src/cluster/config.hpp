@@ -6,6 +6,7 @@
 
 #include "core/triggered.hpp"
 #include "cpu/cpu.hpp"
+#include "fault/fault.hpp"
 #include "gpu/gpu.hpp"
 #include "net/fabric.hpp"
 #include "nic/nic.hpp"
@@ -18,6 +19,11 @@ struct SystemConfig {
   nic::NicConfig nic;
   core::TriggeredNicConfig triggered;
   net::FabricConfig fabric;
+  /// Fabric fault injection (loss / corruption / jitter per link, plus
+  /// scripted faults). When enabled() the cluster automatically switches
+  /// every NIC to reliable delivery; when disabled (the default) the wire
+  /// protocol is exactly the lossless one — zero extra messages.
+  fault::FaultConfig fault;
   /// Backing DRAM per node. Sized for the largest workload; raise for
   /// bigger experiments.
   std::uint64_t dram_bytes = 64ull << 20;
@@ -25,6 +31,11 @@ struct SystemConfig {
   /// The paper's simulation configuration (Table 2): returns the defaults,
   /// spelled out for discoverability.
   static SystemConfig table2();
+
+  /// Table 2 plus uniform packet loss on every link (reliable delivery is
+  /// enabled implicitly by Cluster).
+  static SystemConfig table2_with_loss(double loss_rate,
+                                       std::uint64_t seed = 1);
 
   /// Human-readable dump (bench/tab02_config prints this).
   std::string describe() const;

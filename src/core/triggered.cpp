@@ -19,6 +19,7 @@ TriggeredNic::TriggeredNic(sim::Simulator& sim, nic::Nic& nic,
   // matching FIFO as GPU trigger stores.
   nic_->set_rx_trigger_hook([this](std::uint64_t tag) {
     ++triggers_received_;
+    ++nic_->stats().counter("trig.events");
     fifo_.push(TriggerEvent{tag, false});
   });
   sim_->spawn(match_loop(), log_.component() + ".match");
@@ -62,6 +63,7 @@ void TriggeredNic::on_mmio_store(mem::Addr addr, std::uint64_t value) {
     throw std::logic_error("triggered NIC: store to unexpected MMIO address");
   }
   ++triggers_received_;
+  ++nic_->stats().counter("trig.events");
   fifo_.push(TriggerEvent{value, addr == dyn_trigger_addr_});
   fifo_high_water_ = std::max(fifo_high_water_, fifo_.size());
   if (config_.fault_on_fifo_overflow &&
@@ -72,6 +74,7 @@ void TriggeredNic::on_mmio_store(mem::Addr addr, std::uint64_t value) {
 
 void TriggeredNic::fire(std::vector<nic::Command>&& cmds,
                         int dynamic_target) {
+  nic_->stats().counter("trig.fires") += cmds.size();
   for (auto& cmd : cmds) {
     if (auto* put = std::get_if<nic::PutDesc>(&cmd); put != nullptr &&
         put->target < 0) {

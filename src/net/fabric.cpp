@@ -16,14 +16,61 @@ NodeId Fabric::add_node(MessageSink* sink) {
       config_.link_latency, [this](Packet&& p) { switch_.forward(std::move(p)); }));
   downlinks_.push_back(std::make_unique<Link>(
       *sim_, "down" + std::to_string(id), config_.bandwidth,
-      config_.link_latency, [this, id](Packet&& p) {
+      config_.link_latency, [](Packet&& p) {
         auto flight = p.flight;
         if (--flight->packets_remaining == 0) {
+          flight->msg.corrupted = flight->corrupted;
           flight->sink->deliver(std::move(flight->msg));
         }
       }));
   switch_.attach_output(id, downlinks_.back().get());
+  if (fault_provider_) {
+    uplinks_.back()->set_fault_injector(
+        fault_provider_(uplinks_.back()->name()));
+    downlinks_.back()->set_fault_injector(
+        fault_provider_(downlinks_.back()->name()));
+  }
   return id;
+}
+
+void Fabric::set_fault_injector_provider(
+    std::function<FaultInjector*(const std::string&)> provider) {
+  fault_provider_ = std::move(provider);
+  for (auto& l : uplinks_) {
+    l->set_fault_injector(fault_provider_ ? fault_provider_(l->name())
+                                          : nullptr);
+  }
+  for (auto& l : downlinks_) {
+    l->set_fault_injector(fault_provider_ ? fault_provider_(l->name())
+                                          : nullptr);
+  }
+}
+
+void Fabric::export_stats(sim::StatRegistry& reg) const {
+  reg.counter("net.messages") += messages_;
+  reg.counter("net.bytes") += bytes_;
+  reg.counter("net.switch.packets") += switch_.packets_forwarded();
+  std::uint64_t link_bytes = 0, link_packets = 0, link_drops = 0,
+                link_corrupt = 0;
+  auto per_link = [&](const Link& l) {
+    link_bytes += l.bytes_transmitted();
+    link_packets += l.packets_transmitted();
+    link_drops += l.packets_dropped();
+    link_corrupt += l.packets_corrupted();
+    std::string p = "net.link." + l.name() + ".";
+    reg.counter(p + "bytes") += l.bytes_transmitted();
+    reg.counter(p + "packets") += l.packets_transmitted();
+    if (l.packets_dropped() > 0) reg.counter(p + "drops") += l.packets_dropped();
+    if (l.packets_corrupted() > 0) {
+      reg.counter(p + "corruptions") += l.packets_corrupted();
+    }
+  };
+  for (const auto& l : uplinks_) per_link(*l);
+  for (const auto& l : downlinks_) per_link(*l);
+  reg.counter("net.link.bytes") += link_bytes;
+  reg.counter("net.link.packets") += link_packets;
+  reg.counter("net.link.drops") += link_drops;
+  reg.counter("net.link.corruptions") += link_corrupt;
 }
 
 void Fabric::send(Message&& msg) {

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/link.hpp"
@@ -32,6 +34,9 @@ struct MessageInFlight {
   Message msg;
   int packets_remaining = 0;
   MessageSink* sink = nullptr;
+  /// Latched when fault injection corrupts any packet; copied into
+  /// Message::corrupted on delivery.
+  bool corrupted = false;
 };
 
 class Fabric {
@@ -59,6 +64,19 @@ class Fabric {
   std::uint64_t messages_sent() const { return messages_; }
   std::uint64_t bytes_sent() const { return bytes_; }
 
+  /// Install a per-link fault-injector factory (called with the link name,
+  /// e.g. "up3"/"down0"; may return nullptr for a lossless link). Applies
+  /// to links already built and to links of nodes added later.
+  void set_fault_injector_provider(
+      std::function<FaultInjector*(const std::string&)> provider);
+
+  /// Publish fabric-level counters (messages/bytes, per-link utilisation,
+  /// switch forwards, injected drops) into `reg`, prefixed "net.".
+  void export_stats(sim::StatRegistry& reg) const;
+
+  Link& uplink(NodeId id) { return *uplinks_.at(id); }
+  Link& downlink(NodeId id) { return *downlinks_.at(id); }
+
  private:
   sim::Simulator* sim_;
   FabricConfig config_;
@@ -67,6 +85,7 @@ class Fabric {
   std::vector<std::unique_ptr<Link>> uplinks_;
   std::vector<std::unique_ptr<Link>> downlinks_;
   std::vector<MessageSink*> sinks_;
+  std::function<FaultInjector*(const std::string&)> fault_provider_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
 };

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "net/fabric.hpp"  // MessageInFlight definition
+
 namespace gputn::net {
 
 Link::Link(sim::Simulator& sim, std::string name, sim::Bandwidth bandwidth,
@@ -23,9 +25,24 @@ sim::Task<> Link::pump() {
     co_await sim_->delay(bandwidth_.serialize(p.wire_bytes));
     bytes_ += p.wire_bytes;
     ++packets_;
+    // Faults act on the wire: serialization occupancy is already paid by the
+    // time a packet is dropped, corrupted, or delayed.
+    sim::Tick extra = 0;
+    if (fault_ != nullptr) {
+      FaultVerdict v = fault_->classify(p);
+      if (v.drop) {
+        ++dropped_;
+        continue;  // the packet — and with it the whole message — is lost
+      }
+      if (v.corrupt) {
+        ++corrupted_;
+        if (p.flight) p.flight->corrupted = true;
+      }
+      extra = v.extra_delay;
+    }
     // Propagation overlaps with the next packet's serialization.
     auto fn = downstream_;
-    sim_->schedule_in(propagation_,
+    sim_->schedule_in(propagation_ + extra,
                       [fn, p = std::move(p)]() mutable { fn(std::move(p)); });
   }
 }

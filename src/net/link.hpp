@@ -30,6 +30,23 @@ struct Packet {
   bool last = false;
 };
 
+/// What fault injection decides for one packet traversing a link.
+struct FaultVerdict {
+  bool drop = false;
+  bool corrupt = false;       ///< flag the whole message as corrupted
+  sim::Tick extra_delay = 0;  ///< jitter added to this packet's propagation
+};
+
+/// Per-link fault-injection interface, consulted once per packet in FIFO
+/// transmission order (so a deterministic injector sees a deterministic
+/// packet sequence). Implemented by fault::FaultModel; a null injector
+/// means a perfect link.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual FaultVerdict classify(const Packet& p) = 0;
+};
+
 class Link {
  public:
   Link(sim::Simulator& sim, std::string name, sim::Bandwidth bandwidth,
@@ -40,8 +57,15 @@ class Link {
   /// Enqueue a packet for transmission (non-blocking; FIFO).
   void submit(Packet&& p);
 
+  /// Attach a fault injector (nullptr = lossless). Applies to packets not
+  /// yet serialized; typically wired before traffic starts.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+
+  const std::string& name() const { return name_; }
   std::uint64_t bytes_transmitted() const { return bytes_; }
   std::uint64_t packets_transmitted() const { return packets_; }
+  std::uint64_t packets_dropped() const { return dropped_; }
+  std::uint64_t packets_corrupted() const { return corrupted_; }
 
  private:
   sim::Task<> pump();
@@ -51,9 +75,12 @@ class Link {
   sim::Bandwidth bandwidth_;
   sim::Tick propagation_;
   PacketFn downstream_;
+  FaultInjector* fault_ = nullptr;
   sim::Channel<Packet> queue_;
   std::uint64_t bytes_ = 0;
   std::uint64_t packets_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t corrupted_ = 0;
 };
 
 }  // namespace gputn::net

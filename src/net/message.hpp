@@ -5,6 +5,12 @@
 // are interpreted by the NIC protocol layer (nic/nic.hpp); the fabric never
 // looks at them. Keeping a concrete struct (rather than type erasure) keeps
 // hot-path allocations to the payload vector only.
+//
+// The reliability sub-header (ctrl/seq/ack/reliable) belongs to the
+// end-to-end retransmission protocol (fault/reliability.hpp). On a lossless
+// fabric (reliability disabled) none of these fields are stamped and no
+// ACK/NACK traffic exists; `corrupted` is set in flight by fault injection
+// (net/link.hpp) and never by a sender.
 #pragma once
 
 #include <cstddef>
@@ -15,6 +21,15 @@ namespace gputn::net {
 
 using NodeId = int;
 
+/// Reliability-protocol message class. Data messages carry NIC payloads;
+/// ACK/NACK are link-layer-free end-to-end control traffic between the two
+/// NICs' reliability layers and are never seen by the NIC protocol layer.
+enum class Ctrl : std::uint8_t {
+  kData = 0,
+  kAck = 1,   ///< cumulative acknowledgement: `ack` = next seq expected
+  kNack = 2,  ///< corruption report: retransmit from `ack` immediately
+};
+
 struct Message {
   NodeId src = -1;
   NodeId dst = -1;
@@ -23,6 +38,19 @@ struct Message {
   /// address, match tag, byte count). Six words cover the largest control
   /// message (the rendezvous pull request).
   std::uint64_t h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0, h5 = 0;
+
+  // -- Reliability sub-header (fault/reliability.hpp) ----------------------
+  Ctrl ctrl = Ctrl::kData;
+  /// True once the sender's reliability layer stamped `seq`; the receiver
+  /// then runs duplicate suppression and in-order delivery for it.
+  bool reliable = false;
+  /// Set in flight when fault injection corrupts any packet of the message.
+  bool corrupted = false;
+  /// Per (src, dst) flow sequence number (valid when `reliable`).
+  std::uint64_t seq = 0;
+  /// Cumulative acknowledgement (valid for kAck / kNack).
+  std::uint64_t ack = 0;
+
   std::vector<std::byte> payload;
 
   std::uint64_t payload_bytes() const { return payload.size(); }

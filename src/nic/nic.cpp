@@ -18,6 +18,8 @@ Nic::Nic(sim::Simulator& sim, mem::Memory& memory, net::Fabric& fabric,
       tx_dma_(sim, memory, config.dma_bandwidth, config.dma_startup),
       rx_dma_(sim, memory, config.dma_bandwidth, config.dma_startup),
       cq_(sim),
+      reliability_(sim, fabric, node_id_, config.reliability, stats_,
+                   [this](net::Message&& m) { rx_queue_.push(std::move(m)); }),
       log_("nic" + std::to_string(node_id_), sim.now_ptr()) {
   sim_->spawn(tx_loop(), log_.component() + ".tx");
   sim_->spawn(rx_loop(), log_.component() + ".rx");
@@ -50,7 +52,7 @@ void Nic::issue_rndv_pull(const PendingRts& rts, const RecvDesc& r) {
   pull.h3 = r.flag;
   pull.h4 = r.flag_value;
   pull.h5 = r.cq_cookie;
-  fabric_->send(std::move(pull));
+  reliability_.send(std::move(pull));
 }
 
 void Nic::post_recv(RecvDesc r) {
@@ -91,7 +93,11 @@ void Nic::post_recv(RecvDesc r) {
   posted_.push_back(r);
 }
 
-void Nic::deliver(net::Message&& msg) { rx_queue_.push(std::move(msg)); }
+void Nic::deliver(net::Message&& msg) {
+  // All wire arrivals pass through the reliability layer: ACK/NACK traffic
+  // is absorbed there, data reaches rx_queue_ exactly once and in order.
+  reliability_.on_wire_receive(std::move(msg));
+}
 
 void Nic::set_flag(mem::Addr flag, std::uint64_t value) {
   if (flag != 0) mem_->store<std::uint64_t>(flag, value);
@@ -135,7 +141,7 @@ sim::Task<> Nic::execute(Command cmd) {
     // Payload has left the send buffer: local completion.
     set_flag(put->local_flag, put->flag_value);
     push_cq(put->cq_cookie, 1, put->bytes);
-    fabric_->send(std::move(msg));
+    reliability_.send(std::move(msg));
   } else if (auto* get = std::get_if<GetDesc>(&cmd)) {
     ++stats_.counter("gets");
     net::Message msg;
@@ -147,7 +153,7 @@ sim::Task<> Nic::execute(Command cmd) {
     msg.h2 = get->local_addr;    // reply lands here
     msg.h3 = (static_cast<std::uint64_t>(get->local_flag));
     // Stash the flag value in the reply via the target (h2/h3 round-trip).
-    fabric_->send(std::move(msg));
+    reliability_.send(std::move(msg));
     // local_flag is raised when the GetReply lands (rx path).
     (void)get->flag_value;  // carried implicitly: reply uses value 1 + addr
   } else if (auto* send = std::get_if<SendDesc>(&cmd)) {
@@ -161,7 +167,7 @@ sim::Task<> Nic::execute(Command cmd) {
       co_await tx_dma_.read_into(msg.payload, send->local_addr, send->bytes);
       set_flag(send->local_flag, send->flag_value);
       push_cq(send->cq_cookie, 2, send->bytes);
-      fabric_->send(std::move(msg));
+      reliability_.send(std::move(msg));
     } else {
       // Rendezvous: ship only the ready-to-send descriptor; the payload
       // stays put until the target's receive matches and pulls it.
@@ -175,7 +181,7 @@ sim::Task<> Nic::execute(Command cmd) {
       rts.h0 = send->tag;
       rts.h1 = send->bytes;
       rts.h2 = send->local_addr;
-      fabric_->send(std::move(rts));
+      reliability_.send(std::move(rts));
       // Local completion is raised when the pull drains the buffer.
     }
   }
@@ -267,7 +273,7 @@ sim::Task<> Nic::handle_rx(net::Message msg) {
         push_cq(st->second.cq_cookie, 2, msg.h1);
         rndv_sender_state_.erase(st);
       }
-      fabric_->send(std::move(data));
+      reliability_.send(std::move(data));
       break;
     }
     case kRndvData: {
@@ -288,7 +294,7 @@ sim::Task<> Nic::handle_rx(net::Message msg) {
       reply.h1 = msg.h3;  // initiator's local_flag
       reply.h2 = 1;       // flag value
       co_await tx_dma_.read_into(reply.payload, msg.h0, msg.h1);
-      fabric_->send(std::move(reply));
+      reliability_.send(std::move(reply));
       break;
     }
     case kGetReply: {

@@ -20,6 +20,7 @@
 #include <optional>
 #include <variant>
 
+#include "fault/reliability.hpp"
 #include "mem/dma.hpp"
 #include "mem/memory.hpp"
 #include "net/fabric.hpp"
@@ -47,6 +48,11 @@ struct NicConfig {
   /// rendezvous protocol (RTS -> pull -> data), which avoids buffering
   /// large unexpected payloads at the cost of an extra round trip.
   std::uint64_t eager_threshold = 64 * 1024;
+  /// End-to-end reliable delivery (sequence numbers, ACK/NACK, retransmit
+  /// with exponential backoff). Disabled by default — a lossless fabric
+  /// needs none of it and must pay zero message overhead; the cluster turns
+  /// it on automatically when fault injection is configured.
+  fault::ReliabilityConfig reliability;
 };
 
 /// Completion-queue entry: an alternative notification mechanism to
@@ -164,13 +170,18 @@ class Nic : public net::MessageSink {
   const sim::StatRegistry& stats() const { return stats_; }
 
   /// Attach a trace recorder; TX command and RX message events are
-  /// emitted onto `lane`.
+  /// emitted onto `lane`, retransmission instants included.
   void set_trace(sim::TraceRecorder* trace, std::string lane) {
     trace_ = trace;
-    trace_lane_ = std::move(lane);
+    trace_lane_ = lane;
+    reliability_.set_trace(trace, std::move(lane));
   }
   int posted_recvs() const { return static_cast<int>(posted_.size()); }
   int unexpected_msgs() const { return static_cast<int>(unexpected_.size()); }
+
+  /// The reliable-delivery layer between this NIC and the fabric
+  /// (pass-through when NicConfig::reliability.enabled is false).
+  fault::ReliabilityLayer& reliability() { return reliability_; }
 
  private:
   enum MsgKind : std::uint32_t {
@@ -231,6 +242,9 @@ class Nic : public net::MessageSink {
   sim::TraceRecorder* trace_ = nullptr;
   std::string trace_lane_;
   sim::StatRegistry stats_;
+  /// Declared after stats_ (it publishes counters there) and after
+  /// node_id_/rx_queue_ (it addresses ACKs and feeds the RX queue).
+  fault::ReliabilityLayer reliability_;
   sim::Logger log_;
 };
 

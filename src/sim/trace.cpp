@@ -25,12 +25,29 @@ void TraceRecorder::instant(const std::string& lane, const std::string& name,
 }
 
 namespace {
-/// Minimal JSON string escaping (names are ASCII identifiers in practice).
+/// RFC 8259 string escaping: quote, backslash, the common control-character
+/// shorthands, and \u00XX for the rest of the C0 range.
 std::string escape(const std::string& s) {
   std::string out;
   for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += hex;
+        } else {
+          out.push_back(c);
+        }
+    }
   }
   return out;
 }

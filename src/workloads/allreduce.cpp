@@ -414,6 +414,7 @@ AllreduceResult run_allreduce(const AllreduceConfig& cfg,
   res.nodes = cfg.nodes;
   res.elements = cfg.elements;
   res.total_time = finished_at;
+  w.cluster.export_net_stats(res.net_stats);
 
   // Verify a stride of elements on every rank against the sequential sum.
   res.correct = true;

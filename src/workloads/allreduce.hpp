@@ -47,6 +47,10 @@ struct AllreduceResult {
   bool correct = false;
   /// Max |error| vs. the sequential reduction across sampled elements.
   double max_error = 0.0;
+  /// Network-level counters captured before teardown: net.* (fabric/links),
+  /// fault.* (injected faults), rel.* (reliability protocol, summed over
+  /// nodes). Empty-ish for a lossless run: rel.* counters stay absent.
+  sim::StatRegistry net_stats;
 };
 
 AllreduceResult run_allreduce(const AllreduceConfig& cfg,

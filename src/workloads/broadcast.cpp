@@ -185,6 +185,7 @@ BroadcastResult run_broadcast(const BroadcastConfig& cfg,
   res.nodes = cfg.nodes;
   res.bytes = cfg.bytes;
   res.total_time = finished_at;
+  w.cluster.export_net_stats(res.net_stats);
   res.correct = true;
   for (int n = 0; n < cfg.nodes && res.correct; ++n) {
     auto v = w.cluster.node(n).memory().typed<float>(w.vec[n], w.elems);

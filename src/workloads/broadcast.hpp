@@ -50,6 +50,8 @@ struct BroadcastResult {
   std::size_t bytes = 0;
   sim::Tick total_time = 0;
   bool correct = false;
+  /// net.* / fault.* / rel.* counters captured before teardown.
+  sim::StatRegistry net_stats;
 };
 
 BroadcastResult run_broadcast(const BroadcastConfig& cfg,

@@ -463,6 +463,7 @@ JacobiResult run_jacobi(const JacobiConfig& cfg,
   res.n = cfg.n;
   res.iterations = cfg.iterations;
   res.total_time = finished_at;
+  w.cluster.export_net_stats(res.net_stats);
 
   auto ref = reference(cfg.n, cfg.iterations);
   int g = 2 * cfg.n;

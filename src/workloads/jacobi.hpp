@@ -49,6 +49,8 @@ struct JacobiResult {
   double checksum = 0.0;
   /// Numerics match the scalar torus reference.
   bool correct = false;
+  /// net.* / fault.* / rel.* counters captured before teardown.
+  sim::StatRegistry net_stats;
 };
 
 JacobiResult run_jacobi(const JacobiConfig& cfg,

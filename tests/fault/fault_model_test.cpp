@@ -1,0 +1,192 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gputn::fault {
+namespace {
+
+net::Packet dummy_packet() {
+  net::Packet p;
+  p.wire_bytes = 128;
+  return p;
+}
+
+/// Classify `n` packets and record each verdict as a compact signature.
+std::vector<int> verdict_signature(LinkFaultInjector& inj, int n) {
+  std::vector<int> sig;
+  sig.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    net::Packet p = dummy_packet();
+    net::FaultVerdict v = inj.classify(p);
+    sig.push_back((v.drop ? 1 : 0) | (v.corrupt ? 2 : 0) |
+                  (v.extra_delay > 0 ? 4 : 0));
+  }
+  return sig;
+}
+
+TEST(FaultModel, DisabledByDefault) {
+  FaultConfig c;
+  EXPECT_FALSE(c.enabled());
+  c.default_profile.loss_rate = 0.0;
+  EXPECT_FALSE(c.enabled());
+}
+
+TEST(FaultModel, EnabledByAnyFaultSource) {
+  FaultConfig loss;
+  loss.default_profile.loss_rate = 0.01;
+  EXPECT_TRUE(loss.enabled());
+
+  FaultConfig per_link;
+  per_link.per_link["up3"].corrupt_rate = 0.5;
+  EXPECT_TRUE(per_link.enabled());
+
+  FaultConfig scripted;
+  scripted.script.push_back({"up0", 0, FaultKind::kDrop, 0});
+  EXPECT_TRUE(scripted.enabled());
+
+  FaultConfig jitter;
+  jitter.default_profile.jitter_max = sim::ns(50);
+  EXPECT_TRUE(jitter.enabled());
+}
+
+TEST(FaultModel, SameSeedSameLinkSameVerdicts) {
+  FaultConfig c;
+  c.seed = 99;
+  c.default_profile.loss_rate = 0.2;
+  c.default_profile.corrupt_rate = 0.1;
+  c.default_profile.jitter_max = sim::ns(100);
+  FaultModel a(c);
+  FaultModel b(c);
+  EXPECT_EQ(verdict_signature(*a.injector_for("up0"), 500),
+            verdict_signature(*b.injector_for("up0"), 500));
+}
+
+TEST(FaultModel, DifferentLinksGetIndependentStreams) {
+  FaultConfig c;
+  c.seed = 7;
+  c.default_profile.loss_rate = 0.5;
+  FaultModel m(c);
+  auto sig_up = verdict_signature(*m.injector_for("up0"), 200);
+  auto sig_down = verdict_signature(*m.injector_for("down0"), 200);
+  EXPECT_NE(sig_up, sig_down);  // astronomically unlikely to collide
+}
+
+TEST(FaultModel, VerdictsIndependentOfOtherLinksTraffic) {
+  FaultConfig c;
+  c.seed = 13;
+  c.default_profile.loss_rate = 0.3;
+  c.default_profile.jitter_max = sim::ns(80);
+
+  // Model A: only up0 carries traffic. Model B: up1 sees 1000 packets
+  // first. up0's fault stream must be identical either way.
+  FaultModel a(c);
+  FaultModel b(c);
+  verdict_signature(*b.injector_for("up1"), 1000);
+  EXPECT_EQ(verdict_signature(*a.injector_for("up0"), 300),
+            verdict_signature(*b.injector_for("up0"), 300));
+}
+
+TEST(FaultModel, ScriptedDropHitsExactPacket) {
+  FaultConfig c;  // no probabilistic faults
+  c.script.push_back({"up2", 3, FaultKind::kDrop, 0});
+  FaultModel m(c);
+  auto* inj = m.injector_for("up2");
+  for (int i = 0; i < 10; ++i) {
+    net::Packet p = dummy_packet();
+    net::FaultVerdict v = inj->classify(p);
+    EXPECT_EQ(v.drop, i == 3) << "packet " << i;
+    EXPECT_FALSE(v.corrupt);
+    EXPECT_EQ(v.extra_delay, 0);
+  }
+  // Scripted faults are per-link: another link is untouched.
+  auto* other = m.injector_for("up0");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(other->classify(dummy_packet()).drop);
+  }
+}
+
+TEST(FaultModel, ScriptedCorruptAndDelayCompose) {
+  FaultConfig c;
+  c.script.push_back({"down1", 2, FaultKind::kCorrupt, 0});
+  c.script.push_back({"down1", 2, FaultKind::kDelay, sim::us(5)});
+  FaultModel m(c);
+  auto* inj = m.injector_for("down1");
+  inj->classify(dummy_packet());
+  inj->classify(dummy_packet());
+  net::FaultVerdict v = inj->classify(dummy_packet());
+  EXPECT_TRUE(v.corrupt);
+  EXPECT_EQ(v.extra_delay, sim::us(5));
+  EXPECT_FALSE(v.drop);
+}
+
+TEST(FaultModel, DropShortCircuitsCorruptAndDelay) {
+  FaultConfig c;
+  c.script.push_back({"up0", 0, FaultKind::kDrop, 0});
+  c.script.push_back({"up0", 0, FaultKind::kCorrupt, 0});
+  c.script.push_back({"up0", 0, FaultKind::kDelay, sim::us(1)});
+  FaultModel m(c);
+  net::Packet p = dummy_packet();
+  net::FaultVerdict v = m.injector_for("up0")->classify(p);
+  EXPECT_TRUE(v.drop);
+  EXPECT_FALSE(v.corrupt);
+  EXPECT_EQ(v.extra_delay, 0);
+}
+
+TEST(FaultModel, LossRateIsApproximatelyHonoured) {
+  FaultConfig c;
+  c.seed = 4242;
+  c.default_profile.loss_rate = 0.1;
+  FaultModel m(c);
+  auto* inj = m.injector_for("up0");
+  int drops = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (inj->classify(dummy_packet()).drop) ++drops;
+  }
+  double rate = static_cast<double>(drops) / kN;
+  EXPECT_NEAR(rate, 0.1, 0.01);
+  EXPECT_EQ(m.stats().counter_value("fault.drops"),
+            static_cast<std::uint64_t>(drops));
+  EXPECT_EQ(m.stats().counter_value("fault.up0.drops"),
+            static_cast<std::uint64_t>(drops));
+}
+
+TEST(FaultModel, PerLinkProfileOverridesDefault) {
+  FaultConfig c;
+  c.default_profile.loss_rate = 1.0;  // everything drops...
+  c.per_link["up1"] = LinkFaultProfile{};  // ...except on up1
+  FaultModel m(c);
+  EXPECT_TRUE(m.injector_for("up0")->classify(dummy_packet()).drop);
+  EXPECT_FALSE(m.injector_for("up1")->classify(dummy_packet()).drop);
+}
+
+TEST(FaultModel, JitterWithinConfiguredBounds) {
+  FaultConfig c;
+  c.default_profile.jitter_min = sim::ns(10);
+  c.default_profile.jitter_max = sim::ns(200);
+  FaultModel m(c);
+  auto* inj = m.injector_for("up0");
+  for (int i = 0; i < 1000; ++i) {
+    net::FaultVerdict v = inj->classify(dummy_packet());
+    EXPECT_GE(v.extra_delay, sim::ns(10));
+    EXPECT_LE(v.extra_delay, sim::ns(200));
+  }
+  EXPECT_EQ(m.stats().counter_value("fault.delays"), 1000u);
+}
+
+TEST(FaultModel, ExportStatsMergesCounters) {
+  FaultConfig c;
+  c.script.push_back({"up0", 0, FaultKind::kDrop, 0});
+  FaultModel m(c);
+  m.injector_for("up0")->classify(dummy_packet());
+  sim::StatRegistry reg;
+  reg.counter("fault.drops") = 5;  // pre-existing value is added to
+  m.export_stats(reg);
+  EXPECT_EQ(reg.counter_value("fault.drops"), 6u);
+  EXPECT_EQ(reg.counter_value("fault.up0.drops"), 1u);
+}
+
+}  // namespace
+}  // namespace gputn::fault

@@ -1,0 +1,238 @@
+// Protocol-level tests of the NIC reliability layer against a faulty fabric:
+// two bare endpoints (no NIC protocol engine on top) exchange messages while
+// scripted faults exercise specific corners of the ACK/retransmit protocol.
+#include "fault/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+namespace gputn::fault {
+namespace {
+
+net::FabricConfig fabric_config() {
+  net::FabricConfig c;
+  c.bandwidth = sim::Bandwidth::gbps(100);
+  c.link_latency = sim::ns(100);
+  c.switch_latency = sim::ns(100);
+  return c;
+}
+
+struct Endpoint final : net::MessageSink {
+  void deliver(net::Message&& m) override {
+    layer->on_wire_receive(std::move(m));
+  }
+  std::unique_ptr<ReliabilityLayer> layer;
+  std::vector<net::Message> received;
+  std::vector<sim::Tick> arrival_times;
+  sim::StatRegistry stats;
+};
+
+struct Harness {
+  Harness(FaultConfig fc, ReliabilityConfig rc, int nodes = 2) : model(fc) {
+    fabric.set_fault_injector_provider(
+        [this](const std::string& n) { return model.injector_for(n); });
+    for (int i = 0; i < nodes; ++i) {
+      eps.push_back(std::make_unique<Endpoint>());
+      Endpoint* ep = eps.back().get();
+      net::NodeId id = fabric.add_node(ep);
+      ep->layer = std::make_unique<ReliabilityLayer>(
+          sim, fabric, id, rc, ep->stats, [this, ep](net::Message&& m) {
+            ep->arrival_times.push_back(sim.now());
+            ep->received.push_back(std::move(m));
+          });
+    }
+  }
+
+  net::Message make_msg(int src, int dst, std::uint64_t marker,
+                        std::size_t bytes = 256) {
+    net::Message m;
+    m.src = src;
+    m.dst = dst;
+    m.kind = 1;
+    m.h0 = marker;
+    m.payload.assign(bytes, static_cast<std::byte>(marker & 0xff));
+    return m;
+  }
+
+  sim::Simulator sim;
+  net::Fabric fabric{sim, fabric_config()};
+  FaultModel model;
+  std::vector<std::unique_ptr<Endpoint>> eps;
+};
+
+ReliabilityConfig enabled_config() {
+  ReliabilityConfig rc;
+  rc.enabled = true;
+  return rc;
+}
+
+TEST(Reliability, LosslessDeliversInOrderWithNoRetransmits) {
+  Harness h(FaultConfig{}, enabled_config());
+  for (int i = 0; i < 8; ++i) h.eps[0]->layer->send(h.make_msg(0, 1, i));
+  h.sim.run();
+  ASSERT_EQ(h.eps[1]->received.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(h.eps[1]->received[i].h0, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(h.eps[0]->stats.counter_value("rel.retransmits"), 0u);
+  EXPECT_EQ(h.eps[0]->layer->unacked(), 0u);
+}
+
+TEST(Reliability, ScriptedDropIsRecoveredByRetransmit) {
+  FaultConfig fc;
+  fc.script.push_back({"up0", 0, FaultKind::kDrop, 0});  // first data packet
+  Harness h(fc, enabled_config());
+  h.eps[0]->layer->send(h.make_msg(0, 1, 77));
+  h.sim.run();
+  ASSERT_EQ(h.eps[1]->received.size(), 1u);
+  EXPECT_EQ(h.eps[1]->received[0].h0, 77u);
+  EXPECT_EQ(h.eps[1]->received[0].payload.size(), 256u);
+  EXPECT_EQ(h.eps[1]->received[0].payload[0], static_cast<std::byte>(77));
+  EXPECT_GE(h.eps[0]->stats.counter_value("rel.retransmits"), 1u);
+  EXPECT_EQ(h.model.stats().counter_value("fault.drops"), 1u);
+  EXPECT_EQ(h.eps[0]->layer->unacked(), 0u);
+}
+
+TEST(Reliability, LostAckCausesDuplicateWhichIsSuppressed) {
+  FaultConfig fc;
+  // The receiver's ACK travels up1 -> down0; dropping the first packet on
+  // up1 kills the ACK, the sender times out and retransmits, and the
+  // receiver must suppress the duplicate yet re-ACK it.
+  fc.script.push_back({"up1", 0, FaultKind::kDrop, 0});
+  Harness h(fc, enabled_config());
+  h.eps[0]->layer->send(h.make_msg(0, 1, 5));
+  h.sim.run();
+  ASSERT_EQ(h.eps[1]->received.size(), 1u);  // exactly once
+  EXPECT_GE(h.eps[0]->stats.counter_value("rel.retransmits"), 1u);
+  EXPECT_GE(h.eps[1]->stats.counter_value("rel.dup_dropped"), 1u);
+  EXPECT_EQ(h.eps[0]->layer->unacked(), 0u);  // the re-ACK drained the window
+}
+
+TEST(Reliability, CorruptionTriggersNackFastRetransmit) {
+  FaultConfig fc;
+  fc.script.push_back({"up0", 0, FaultKind::kCorrupt, 0});
+  Harness h(fc, enabled_config());
+  h.eps[0]->layer->send(h.make_msg(0, 1, 9));
+  h.sim.run();
+  ASSERT_EQ(h.eps[1]->received.size(), 1u);
+  EXPECT_EQ(h.eps[1]->received[0].h0, 9u);
+  EXPECT_FALSE(h.eps[1]->received[0].corrupted);
+  EXPECT_GE(h.eps[1]->stats.counter_value("rel.nacks_tx"), 1u);
+  EXPECT_GE(h.eps[0]->stats.counter_value("rel.nacks_rx"), 1u);
+  EXPECT_GE(h.eps[0]->stats.counter_value("rel.retransmits"), 1u);
+  // The NACK short-circuits the timeout: the retransmission is delivered
+  // much sooner than the 100 us base RTO (one extra RTT, ~1 us here).
+  // (The run's final sim time is later — a stale, epoch-invalidated backoff
+  // timer still pops as a no-op — so assert on the delivery timestamp.)
+  EXPECT_LT(h.eps[1]->arrival_times.at(0), sim::us(100));
+}
+
+TEST(Reliability, JitterReorderingIsHealedAtReceiver) {
+  FaultConfig fc;
+  // Delay only the first message's packet well past the second message's
+  // arrival; the receiver must park seq 1 and deliver 0, 1 in order.
+  fc.script.push_back({"up0", 0, FaultKind::kDelay, sim::us(5)});
+  Harness h(fc, enabled_config());
+  h.eps[0]->layer->send(h.make_msg(0, 1, 0));
+  h.eps[0]->layer->send(h.make_msg(0, 1, 1));
+  h.sim.run();
+  ASSERT_EQ(h.eps[1]->received.size(), 2u);
+  EXPECT_EQ(h.eps[1]->received[0].h0, 0u);
+  EXPECT_EQ(h.eps[1]->received[1].h0, 1u);
+  EXPECT_GE(h.eps[1]->stats.counter_value("rel.reorder_buffered"), 1u);
+  EXPECT_EQ(h.eps[0]->stats.counter_value("rel.retransmits"), 0u);
+}
+
+TEST(Reliability, HeavyLossStillDeliversEverythingInOrder) {
+  FaultConfig fc;
+  fc.seed = 3;
+  fc.default_profile.loss_rate = 0.2;
+  Harness h(fc, enabled_config());
+  const int kMsgs = 50;
+  for (int i = 0; i < kMsgs; ++i) h.eps[0]->layer->send(h.make_msg(0, 1, i));
+  h.sim.run();
+  ASSERT_EQ(h.eps[1]->received.size(), static_cast<std::size_t>(kMsgs));
+  for (int i = 0; i < kMsgs; ++i) {
+    EXPECT_EQ(h.eps[1]->received[i].h0, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_GT(h.eps[0]->stats.counter_value("rel.retransmits"), 0u);
+  EXPECT_EQ(h.eps[0]->layer->unacked(), 0u);
+}
+
+TEST(Reliability, DisabledLayerIsPassThrough) {
+  Harness h(FaultConfig{}, ReliabilityConfig{});  // both disabled
+  h.eps[0]->layer->send(h.make_msg(0, 1, 4));
+  h.sim.run();
+  ASSERT_EQ(h.eps[1]->received.size(), 1u);
+  // No protocol state or control traffic: one message on the wire, no
+  // sequence stamp, no ACK back.
+  EXPECT_FALSE(h.eps[1]->received[0].reliable);
+  EXPECT_EQ(h.fabric.messages_sent(), 1u);
+  EXPECT_EQ(h.eps[0]->stats.counter_value("rel.tx_data"), 0u);
+  EXPECT_EQ(h.eps[1]->stats.counter_value("rel.acks_tx"), 0u);
+}
+
+TEST(Reliability, EnabledWithoutFaultsAddsOnlyAcks) {
+  // Baseline wire count: disabled layer, 4 messages -> 4 on the wire.
+  Harness plain(FaultConfig{}, ReliabilityConfig{});
+  for (int i = 0; i < 4; ++i) plain.eps[0]->layer->send(plain.make_msg(0, 1, i));
+  plain.sim.run();
+  EXPECT_EQ(plain.fabric.messages_sent(), 4u);
+
+  // Enabled layer on a lossless wire: each data message gains exactly one
+  // ACK and nothing is retransmitted.
+  Harness rel(FaultConfig{}, enabled_config());
+  for (int i = 0; i < 4; ++i) rel.eps[0]->layer->send(rel.make_msg(0, 1, i));
+  rel.sim.run();
+  EXPECT_EQ(rel.fabric.messages_sent(), 8u);
+  EXPECT_EQ(rel.eps[0]->stats.counter_value("rel.retransmits"), 0u);
+}
+
+TEST(Reliability, DisabledLayerDropsCorruptedMessages) {
+  FaultConfig fc;
+  fc.script.push_back({"up0", 0, FaultKind::kCorrupt, 0});
+  Harness h(fc, ReliabilityConfig{});  // reliability off
+  h.eps[0]->layer->send(h.make_msg(0, 1, 1));
+  h.eps[0]->layer->send(h.make_msg(0, 1, 2));
+  h.sim.run();
+  // The corrupted first message is discarded like a bad-FCS frame.
+  ASSERT_EQ(h.eps[1]->received.size(), 1u);
+  EXPECT_EQ(h.eps[1]->received[0].h0, 2u);
+  EXPECT_EQ(h.eps[1]->stats.counter_value("rel.corrupt_dropped"), 1u);
+}
+
+TEST(Reliability, PerDestinationSequencesAreIndependent) {
+  Harness h(FaultConfig{}, enabled_config(), /*nodes=*/3);
+  h.eps[0]->layer->send(h.make_msg(0, 1, 10));
+  h.eps[0]->layer->send(h.make_msg(0, 2, 20));
+  h.eps[0]->layer->send(h.make_msg(0, 1, 11));
+  h.sim.run();
+  ASSERT_EQ(h.eps[1]->received.size(), 2u);
+  ASSERT_EQ(h.eps[2]->received.size(), 1u);
+  // Each flow numbers from 0.
+  EXPECT_EQ(h.eps[1]->received[0].seq, 0u);
+  EXPECT_EQ(h.eps[1]->received[1].seq, 1u);
+  EXPECT_EQ(h.eps[2]->received[0].seq, 0u);
+}
+
+TEST(Reliability, MultiPacketMessageSurvivesMidMessageDrop) {
+  FaultConfig fc;
+  // A 10000 B payload spans 3 MTU packets; drop the middle one so the
+  // message (not just a packet) is lost and must be resent whole.
+  fc.script.push_back({"up0", 1, FaultKind::kDrop, 0});
+  Harness h(fc, enabled_config());
+  h.eps[0]->layer->send(h.make_msg(0, 1, 3, /*bytes=*/10000));
+  h.sim.run();
+  ASSERT_EQ(h.eps[1]->received.size(), 1u);
+  EXPECT_EQ(h.eps[1]->received[0].payload.size(), 10000u);
+  EXPECT_GE(h.eps[0]->stats.counter_value("rel.retransmits"), 1u);
+}
+
+}  // namespace
+}  // namespace gputn::fault

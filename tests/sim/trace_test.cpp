@@ -28,6 +28,44 @@ TEST(Trace, EscapesQuotesInNames) {
   EXPECT_NE(json.find("odd\\\"name"), std::string::npos);
 }
 
+TEST(Trace, EscapesBackslashesInNames) {
+  TraceRecorder t;
+  t.instant("lane", "a\\b", "cat", 0);
+  std::string json = t.to_json();
+  EXPECT_NE(json.find("a\\\\b"), std::string::npos);
+  // The raw (unescaped) sequence must not survive: a single backslash
+  // followed by 'b' would be the invalid-JSON \b escape at parse time.
+  EXPECT_EQ(json.find("\"a\\b\""), std::string::npos);
+}
+
+TEST(Trace, EscapesCommonControlCharacters) {
+  TraceRecorder t;
+  t.instant("lane", "line1\nline2\ttabbed\rcr", "cat", 0);
+  std::string json = t.to_json();
+  EXPECT_NE(json.find("line1\\nline2\\ttabbed\\rcr"), std::string::npos);
+  // No raw control characters may remain inside the emitted strings.
+  EXPECT_EQ(json.find("line1\nline2"), std::string::npos);
+}
+
+TEST(Trace, EscapesRareControlCharactersAsUnicode) {
+  TraceRecorder t;
+  std::string name = "x";
+  name.push_back('\x01');
+  name.push_back('\x1f');
+  name += "y";
+  t.instant("lane", name, "cat", 0);
+  std::string json = t.to_json();
+  EXPECT_NE(json.find("x\\u0001\\u001fy"), std::string::npos);
+}
+
+TEST(Trace, EscapesCategoryAndLaneNames) {
+  TraceRecorder t;
+  t.span("lane\"q", "name", "cat\\c", 0, ns(5));
+  std::string json = t.to_json();
+  EXPECT_NE(json.find("lane\\\"q"), std::string::npos);
+  EXPECT_NE(json.find("cat\\\\c"), std::string::npos);
+}
+
 TEST(Trace, LanesGetStableIds) {
   TraceRecorder t;
   t.instant("x", "a", "c", 0);

@@ -1,11 +1,16 @@
 // gputn — command-line driver for the simulation experiments.
 //
-//   gputn config
+//   gputn config     [--loss P]
 //   gputn microbench [--strategy CPU|HDN|GDS|GPU-TN|GHN|GNN]
 //   gputn jacobi     [--strategy S] [--n N] [--iterations K] [--overlap]
 //   gputn allreduce  [--strategy S] [--nodes N] [--mb M] [--offload]
 //   gputn broadcast  [--drive HDN|GPU-TN|NIC-chain] [--nodes N] [--mb M]
 //                    [--chunks C]
+//
+// jacobi/allreduce/broadcast additionally accept fault injection:
+//   --loss P   uniform per-packet loss rate on every link (e.g. 0.01);
+//              enables NIC reliable delivery and prints fault/retry stats
+//   --seed S   fault-injection RNG seed (default 1)
 //
 // Exit code is nonzero on verification failure. For Chrome-tracing
 // timeline capture, see examples/trace_capture.cpp.
@@ -34,7 +39,9 @@ namespace {
       "  jacobi: --n <grid> --iterations <k> --overlap\n"
       "  allreduce: --nodes <n> --mb <size> --offload\n"
       "  broadcast: --drive HDN|GPU-TN|NIC-chain --nodes <n> --mb <size> "
-      "--chunks <c>\n");
+      "--chunks <c>\n"
+      "  fault injection (jacobi/allreduce/broadcast): --loss <rate> "
+      "--seed <s>\n");
   std::exit(2);
 }
 
@@ -88,8 +95,28 @@ BroadcastDrive parse_drive(const std::string& s) {
   std::exit(2);
 }
 
-int cmd_config() {
-  std::printf("%s", cluster::SystemConfig::table2().describe().c_str());
+/// Table 2, plus --loss/--seed fault injection when requested.
+cluster::SystemConfig system_config(const Args& args) {
+  return cluster::SystemConfig::table2_with_loss(
+      args.get_double("loss", 0.0),
+      static_cast<std::uint64_t>(args.get_int("seed", 1)));
+}
+
+/// One summary line of the fault/retry counters a lossy run produced.
+void print_net_stats(const Args& args, const sim::StatRegistry& s) {
+  if (!args.has("loss")) return;
+  std::printf(
+      "  faults: %llu dropped, %llu corrupted; recovery: %llu retransmits, "
+      "%llu acks, %llu nacks\n",
+      static_cast<unsigned long long>(s.counter_value("fault.drops")),
+      static_cast<unsigned long long>(s.counter_value("fault.corruptions")),
+      static_cast<unsigned long long>(s.counter_value("rel.retransmits")),
+      static_cast<unsigned long long>(s.counter_value("rel.acks_tx")),
+      static_cast<unsigned long long>(s.counter_value("rel.nacks_tx")));
+}
+
+int cmd_config(const Args& args) {
+  std::printf("%s", system_config(args).describe().c_str());
   return 0;
 }
 
@@ -114,11 +141,12 @@ int cmd_jacobi(const Args& args) {
   cfg.n = static_cast<int>(args.get_int("n", 256));
   cfg.iterations = static_cast<int>(args.get_int("iterations", 10));
   cfg.overlap = args.has("overlap");
-  JacobiResult res = run_jacobi(cfg);
+  JacobiResult res = run_jacobi(cfg, system_config(args));
   std::printf("%s Jacobi %dx%d x%d iters: %.2f us total, %.2f us/iter, %s\n",
               strategy_name(cfg.strategy), cfg.n, cfg.n, cfg.iterations,
               sim::to_us(res.total_time), sim::to_us(res.per_iteration()),
               res.correct ? "verified" : "NUMERICS MISMATCH");
+  print_net_stats(args, res.net_stats);
   return res.correct ? 0 : 1;
 }
 
@@ -129,12 +157,13 @@ int cmd_allreduce(const Args& args) {
   cfg.elements =
       static_cast<std::size_t>(args.get_double("mb", 8.0) * 1024 * 1024 / 4);
   cfg.nic_offload_allgather = args.has("offload");
-  AllreduceResult res = run_allreduce(cfg);
+  AllreduceResult res = run_allreduce(cfg, system_config(args));
   std::printf("%s allreduce, %zu fp32 x %d nodes%s: %.1f us, %s\n",
               strategy_name(cfg.strategy), cfg.elements, cfg.nodes,
               cfg.nic_offload_allgather ? " (NIC-offloaded allgather)" : "",
               sim::to_us(res.total_time),
               res.correct ? "exact" : "REDUCTION MISMATCH");
+  print_net_stats(args, res.net_stats);
   return res.correct ? 0 : 1;
 }
 
@@ -145,11 +174,12 @@ int cmd_broadcast(const Args& args) {
   cfg.bytes =
       static_cast<std::size_t>(args.get_double("mb", 1.0) * 1024 * 1024);
   cfg.chunks = static_cast<int>(args.get_int("chunks", 16));
-  BroadcastResult res = run_broadcast(cfg);
+  BroadcastResult res = run_broadcast(cfg, system_config(args));
   std::printf("%s broadcast, %zu B x %d nodes, %d chunks: %.1f us, %s\n",
               broadcast_drive_name(cfg.drive), cfg.bytes, cfg.nodes,
               cfg.chunks, sim::to_us(res.total_time),
               res.correct ? "verified" : "DATA MISMATCH");
+  print_net_stats(args, res.net_stats);
   return res.correct ? 0 : 1;
 }
 
@@ -159,10 +189,18 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   std::string cmd = argv[1];
   Args args(argc, argv, 2);
-  if (cmd == "config") return cmd_config();
-  if (cmd == "microbench") return cmd_microbench(args);
-  if (cmd == "jacobi") return cmd_jacobi(args);
-  if (cmd == "allreduce") return cmd_allreduce(args);
-  if (cmd == "broadcast") return cmd_broadcast(args);
+  // Simulation failures (deadlock watchdog, reliability giving up under a
+  // pathological loss rate) surface as exceptions; report them as a normal
+  // CLI error instead of an abort.
+  try {
+    if (cmd == "config") return cmd_config(args);
+    if (cmd == "microbench") return cmd_microbench(args);
+    if (cmd == "jacobi") return cmd_jacobi(args);
+    if (cmd == "allreduce") return cmd_allreduce(args);
+    if (cmd == "broadcast") return cmd_broadcast(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gputn: %s\n", e.what());
+    return 1;
+  }
   usage();
 }
