@@ -40,16 +40,15 @@ void Cluster::export_net_stats(sim::StatRegistry& out) const {
     }
     for (const auto& [name, acc] : s.accumulators()) {
       if (name.rfind("rel.", 0) != 0) continue;
-      // Accumulators cannot be merged exactly; nodes contribute their raw
-      // samples via the mean×count identity only when the slot is fresh,
-      // otherwise fold in sum/extrema which is what reports consume.
-      sim::Accumulator& dst = out.accumulator(name);
-      for (std::uint64_t i = 0; i < acc.count(); ++i) {
-        // Re-adding the mean preserves count/sum/mean; min/max degrade to
-        // the mean, acceptable for the aggregate view (per-node registries
-        // keep the exact distributions).
-        dst.add(acc.mean());
-      }
+      // Exact Welford-state combination: the aggregate's count / mean /
+      // min / max / stddev match a single accumulator fed every sample.
+      out.accumulator(name).merge(acc);
+    }
+    // Per-stage latency histograms (lat.*, recorded at each destination
+    // NIC) merge exactly bucket-wise, so cluster-wide p50/p90/p99 are as
+    // good as the per-node ones.
+    for (const auto& [name, h] : s.histograms()) {
+      out.histogram(name).merge(h);
     }
   }
 }
@@ -57,10 +56,15 @@ void Cluster::export_net_stats(sim::StatRegistry& out) const {
 void Cluster::enable_tracing(sim::TraceRecorder& trace) {
   for (int i = 0; i < size(); ++i) {
     std::string prefix = "node" + std::to_string(i);
+    node(i).cpu().set_trace(&trace, prefix + ".cpu");
     node(i).gpu().set_trace(&trace, prefix + ".gpu");
-    node(i).nic().set_trace(&trace, prefix + ".nic");
+    // The NIC learns its sibling lanes so message flows can start on the
+    // gpu lane (trigger store) and step through the trigger unit's lane.
+    node(i).nic().set_trace(&trace, prefix + ".nic", prefix + ".gpu",
+                            prefix + ".trig");
     node(i).triggered().set_trace(&trace, prefix + ".trig");
   }
+  fabric_.set_trace(&trace);
 }
 
 Cluster::~Cluster() {

@@ -57,8 +57,10 @@ class Cluster {
   net::Fabric& fabric() { return fabric_; }
   int size() const { return static_cast<int>(nodes_.size()); }
 
-  /// Attach a trace recorder to every node's GPU, NIC, and trigger unit
-  /// (lanes "node<i>.gpu" / ".nic" / ".trig").
+  /// Attach a trace recorder to every node's CPU, GPU, NIC, and trigger
+  /// unit (lanes "node<i>.cpu" / ".gpu" / ".nic" / ".trig") plus the
+  /// fabric ("net.switch", "net.down<i>"), with cross-lane flow events
+  /// following each message from trigger store to remote deposit.
   void enable_tracing(sim::TraceRecorder& trace);
   Node& node(int i) { return *nodes_.at(i); }
   rt::NodeRuntime& rt(int i) { return node(i).rt(); }
@@ -67,9 +69,10 @@ class Cluster {
   /// config has fault injection disabled.
   fault::FaultModel* fault_model() { return fault_.get(); }
 
-  /// Merge fabric counters (net.*), injected-fault counters (fault.*), and
-  /// every node's reliability counters (rel.*, summed across nodes) into
-  /// `out`. Deterministic: iteration orders are all sorted-map based.
+  /// Merge fabric counters (net.*), injected-fault counters (fault.*),
+  /// every node's reliability counters (rel.*, summed across nodes), and
+  /// the per-stage latency histograms (lat.*, exact bucket-wise merge)
+  /// into `out`. Deterministic: iteration orders are all sorted-map based.
   void export_net_stats(sim::StatRegistry& out) const;
 
  private:

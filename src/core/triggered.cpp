@@ -20,7 +20,7 @@ TriggeredNic::TriggeredNic(sim::Simulator& sim, nic::Nic& nic,
   nic_->set_rx_trigger_hook([this](std::uint64_t tag) {
     ++triggers_received_;
     ++nic_->stats().counter("trig.events");
-    fifo_.push(TriggerEvent{tag, false});
+    fifo_.push(TriggerEvent{tag, false, sim_->now(), false});
   });
   sim_->spawn(match_loop(), log_.component() + ".match");
 }
@@ -53,8 +53,11 @@ void TriggeredNic::register_op(Tag tag, std::uint64_t threshold,
                static_cast<unsigned long long>(tag));
     // Note: a *dynamic* put cannot legally reach here — orphan counters do
     // not retain the event's target, so dynamic ops do not compose with
-    // trigger-before-post (fire() faults on the -1 target).
-    fire(std::move(ready), /*dynamic_target=*/-1);
+    // trigger-before-post (fire() faults on the -1 target). The triggering
+    // store's arrival time is not retained by the orphan counter either,
+    // so the fire carries no trigger timestamp.
+    fire(std::move(ready), /*dynamic_target=*/-1, /*trigger_at=*/-1,
+         /*trigger_mmio=*/false);
   }
 }
 
@@ -64,7 +67,8 @@ void TriggeredNic::on_mmio_store(mem::Addr addr, std::uint64_t value) {
   }
   ++triggers_received_;
   ++nic_->stats().counter("trig.events");
-  fifo_.push(TriggerEvent{value, addr == dyn_trigger_addr_});
+  fifo_.push(TriggerEvent{value, addr == dyn_trigger_addr_, sim_->now(),
+                          true});
   fifo_high_water_ = std::max(fifo_high_water_, fifo_.size());
   if (config_.fault_on_fifo_overflow &&
       fifo_.size() > static_cast<std::size_t>(config_.fifo_depth)) {
@@ -72,8 +76,8 @@ void TriggeredNic::on_mmio_store(mem::Addr addr, std::uint64_t value) {
   }
 }
 
-void TriggeredNic::fire(std::vector<nic::Command>&& cmds,
-                        int dynamic_target) {
+void TriggeredNic::fire(std::vector<nic::Command>&& cmds, int dynamic_target,
+                        sim::Tick trigger_at, bool trigger_mmio) {
   nic_->stats().counter("trig.fires") += cmds.size();
   for (auto& cmd : cmds) {
     if (auto* put = std::get_if<nic::PutDesc>(&cmd); put != nullptr &&
@@ -85,7 +89,7 @@ void TriggeredNic::fire(std::vector<nic::Command>&& cmds,
       }
       put->target = dynamic_target;
     }
-    nic_->enqueue_internal(std::move(cmd));
+    nic_->enqueue_internal(std::move(cmd), trigger_at, trigger_mmio);
   }
 }
 
@@ -114,12 +118,14 @@ sim::Task<> TriggeredNic::match_loop() {
                            (config_.update_cost + table_.probe_cost(tag)));
     }
     if (trace_ != nullptr) {
-      trace_->instant(trace_lane_,
-                      "trigger tag=" + std::to_string(tag) +
-                          (ready.empty() ? "" : " FIRE"),
-                      "trigger", sim_->now());
+      // A span (store arrival -> counter updated) rather than an instant,
+      // so flow steps through the trigger unit have a slice to bind to.
+      trace_->span(trace_lane_,
+                   "trigger tag=" + std::to_string(tag) +
+                       (ready.empty() ? "" : " FIRE"),
+                   "trigger", ev.at >= 0 ? ev.at : sim_->now(), sim_->now());
     }
-    if (!ready.empty()) fire(std::move(ready), ev.target());
+    if (!ready.empty()) fire(std::move(ready), ev.target(), ev.at, ev.mmio);
   }
 }
 

@@ -108,6 +108,12 @@ class TriggeredNic : public mem::MmioHandler {
   struct TriggerEvent {
     std::uint64_t raw = 0;
     bool dynamic = false;
+    /// When the store landed in the FIFO (observability: the start of the
+    /// lat.trigger_to_fire stage).
+    sim::Tick at = -1;
+    /// True for MMIO trigger-address stores (GPU-originated) as opposed to
+    /// counting-receive events; decides which trace lane a flow starts on.
+    bool mmio = false;
     Tag tag() const { return dynamic ? (raw & 0xffffffffull) : raw; }
     /// Target encoded in a dynamic store, or -1.
     int target() const {
@@ -116,7 +122,8 @@ class TriggeredNic : public mem::MmioHandler {
   };
 
   sim::Task<> match_loop();
-  void fire(std::vector<nic::Command>&& cmds, int dynamic_target);
+  void fire(std::vector<nic::Command>&& cmds, int dynamic_target,
+            sim::Tick trigger_at, bool trigger_mmio);
 
   sim::Simulator* sim_;
   nic::Nic* nic_;

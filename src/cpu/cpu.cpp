@@ -29,11 +29,22 @@ sim::Tick Cpu::staging_copy_time(std::uint64_t bytes) const {
 }
 
 sim::Task<> Cpu::staging_copy(std::uint64_t bytes) {
+  sim::Tick begin = sim_->now();
   co_await compute(staging_copy_time(bytes));
+  if (trace_ != nullptr) {
+    trace_->span(trace_lane_, "staging_copy", "cpu", begin, sim_->now(),
+                 "{\"bytes\":" + std::to_string(bytes) + "}");
+  }
 }
 
 sim::Task<> Cpu::compute_parallel(double flops, std::uint64_t bytes) {
+  sim::Tick begin = sim_->now();
   co_await compute(parallel_time(flops, bytes));
+  if (trace_ != nullptr) {
+    trace_->span(trace_lane_, "compute", "cpu", begin, sim_->now(),
+                 "{\"flops\":" + std::to_string(flops) +
+                     ",\"bytes\":" + std::to_string(bytes) + "}");
+  }
 }
 
 sim::Task<> Cpu::wait_value_ge(mem::Addr addr, std::uint64_t value) {

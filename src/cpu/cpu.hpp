@@ -11,6 +11,7 @@
 #include "mem/memory.hpp"
 #include "sim/stats.hpp"
 #include "sim/sync.hpp"
+#include "sim/trace.hpp"
 
 namespace gputn::cpu {
 
@@ -92,11 +93,21 @@ class Cpu {
 
   sim::StatRegistry& stats() { return stats_; }
 
+  /// Attach a trace recorder; parallel-compute and staging-copy phases are
+  /// emitted as spans onto `lane`. Flag-poll spins are deliberately not
+  /// traced — one span per poll would drown the timeline.
+  void set_trace(sim::TraceRecorder* trace, std::string lane) {
+    trace_ = trace;
+    trace_lane_ = std::move(lane);
+  }
+
  private:
   sim::Simulator* sim_;
   mem::Memory* mem_;
   CpuConfig config_;
   sim::StatRegistry stats_;
+  sim::TraceRecorder* trace_ = nullptr;
+  std::string trace_lane_;
 };
 
 }  // namespace gputn::cpu

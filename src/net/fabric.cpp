@@ -16,10 +16,21 @@ NodeId Fabric::add_node(MessageSink* sink) {
       config_.link_latency, [this](Packet&& p) { switch_.forward(std::move(p)); }));
   downlinks_.push_back(std::make_unique<Link>(
       *sim_, "down" + std::to_string(id), config_.bandwidth,
-      config_.link_latency, [](Packet&& p) {
+      config_.link_latency, [this](Packet&& p) {
         auto flight = p.flight;
         if (--flight->packets_remaining == 0) {
           flight->msg.corrupted = flight->corrupted;
+          flight->msg.t_rx = sim_->now();
+          if (trace_ != nullptr && flight->msg.flow != 0 &&
+              flight->msg.t_wire >= 0) {
+            // One span per message (not per packet) covering its whole
+            // time on the wire, on the destination's downlink lane.
+            std::string lane = "net.down" + std::to_string(flight->msg.dst);
+            trace_->span(lane, "msg", "net", flight->msg.t_wire,
+                         flight->msg.t_rx, flow_args(flight->msg));
+            trace_->flow_step(lane, "msg", "flow", flight->msg.t_wire,
+                              flight->msg.flow);
+          }
           flight->sink->deliver(std::move(flight->msg));
         }
       }));
@@ -73,11 +84,22 @@ void Fabric::export_stats(sim::StatRegistry& reg) const {
   reg.counter("net.link.corruptions") += link_corrupt;
 }
 
+void Fabric::set_trace(sim::TraceRecorder* trace) {
+  trace_ = trace;
+  switch_.set_trace(trace);
+}
+
 void Fabric::send(Message&& msg) {
   if (msg.src < 0 || msg.src >= node_count() || msg.dst < 0 ||
       msg.dst >= node_count()) {
     throw std::out_of_range("fabric: send with unknown src/dst node");
   }
+  // Observability stamps. NICs stamp `flow` at first tx; anything else that
+  // reaches the wire (ACK/NACK control traffic, direct fabric users) gets a
+  // fallback id here. t_wire is re-stamped per wire copy, so a retransmit
+  // measures its own wire time.
+  if (msg.flow == 0) msg.flow = next_flow();
+  msg.t_wire = sim_->now();
   ++messages_;
   std::uint64_t wire = config_.header_bytes + msg.payload_bytes();
   bytes_ += wire;

@@ -17,6 +17,7 @@
 #include "net/message.hpp"
 #include "net/switch.hpp"
 #include "sim/stats.hpp"
+#include "sim/trace.hpp"
 
 namespace gputn::net {
 
@@ -37,6 +38,8 @@ struct MessageInFlight {
   /// Latched when fault injection corrupts any packet; copied into
   /// Message::corrupted on delivery.
   bool corrupted = false;
+  /// First packet's arrival at the switch (tracing only; -1 until then).
+  std::int64_t t_switch = -1;
 };
 
 class Fabric {
@@ -74,6 +77,16 @@ class Fabric {
   /// switch forwards, injected drops) into `reg`, prefixed "net.".
   void export_stats(sim::StatRegistry& reg) const;
 
+  /// Allocate the next monotonic flow id (see Message::flow). Shared by
+  /// every NIC on the fabric so ids are unique cluster-wide; allocation is
+  /// independent of tracing so runs are identical with tracing off.
+  std::uint64_t next_flow() { return ++flow_counter_; }
+
+  /// Attach a trace recorder: per-message spans land on "net.switch" and
+  /// "net.down<dst>" lanes with flow steps so viewer arrows pass through
+  /// the fabric. nullptr detaches.
+  void set_trace(sim::TraceRecorder* trace);
+
   Link& uplink(NodeId id) { return *uplinks_.at(id); }
   Link& downlink(NodeId id) { return *downlinks_.at(id); }
 
@@ -88,6 +101,8 @@ class Fabric {
   std::function<FaultInjector*(const std::string&)> fault_provider_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t flow_counter_ = 0;
+  sim::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace gputn::net

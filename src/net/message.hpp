@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace gputn::net {
@@ -51,10 +52,34 @@ struct Message {
   /// Cumulative acknowledgement (valid for kAck / kNack).
   std::uint64_t ack = 0;
 
+  // -- Observability sub-header (never interpreted by any component) -------
+  /// Monotonic end-to-end flow id, stamped at first NIC tx (0 = unstamped).
+  /// Retransmitted copies keep the original id so a trace groups every
+  /// wire attempt of one logical message under one flow.
+  std::uint64_t flow = 0;
+  /// Per-stage timestamps in simulator ticks (picoseconds); -1 marks a
+  /// stage that did not occur for this message. Pure bookkeeping: stamping
+  /// never schedules events or adds delay, so latency accounting cannot
+  /// perturb simulated time.
+  std::int64_t t_trigger = -1;  ///< GPU trigger store reached the NIC
+  std::int64_t t_cmd = -1;      ///< command entered the NIC command queue
+  std::int64_t t_wire = -1;     ///< handed to the fabric (fresh per retransmit)
+  std::int64_t t_rx = -1;       ///< last packet left the destination downlink
+
   std::vector<std::byte> payload;
 
   std::uint64_t payload_bytes() const { return payload.size(); }
 };
+
+/// Trace-event args JSON for one message's flow events (sim/trace.hpp);
+/// shared by every emitter so the viewer shows a consistent detail pane.
+inline std::string flow_args(const Message& m) {
+  return "{\"flow\":" + std::to_string(m.flow) +
+         ",\"src\":" + std::to_string(m.src) +
+         ",\"dst\":" + std::to_string(m.dst) +
+         ",\"kind\":" + std::to_string(m.kind) +
+         ",\"bytes\":" + std::to_string(m.payload_bytes()) + "}";
+}
 
 /// Destination-side receiver; the NIC implements this.
 class MessageSink {

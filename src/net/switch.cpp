@@ -19,6 +19,16 @@ void Switch::forward(Packet&& p) {
     throw std::out_of_range("switch: packet for unknown node");
   }
   ++forwarded_;
+  if (p.flight->t_switch < 0) p.flight->t_switch = sim_->now();
+  if (trace_ != nullptr && p.last && p.flight->msg.flow != 0) {
+    // One span per message covering first arrival to last forward; the
+    // flow step at the start keeps the arrow inside the slice.
+    sim::Tick end = sim_->now() + latency_;
+    trace_->span("net.switch", "msg", "net", p.flight->t_switch, end,
+                 flow_args(p.flight->msg));
+    trace_->flow_step("net.switch", "msg", "flow", p.flight->t_switch,
+                      p.flight->msg.flow);
+  }
   Link* out = outputs_[dst];
   sim_->schedule_in(latency_, [out, p = std::move(p)]() mutable {
     out->submit(std::move(p));

@@ -10,6 +10,7 @@
 
 #include "net/link.hpp"
 #include "net/message.hpp"
+#include "sim/trace.hpp"
 
 namespace gputn::net {
 
@@ -28,11 +29,16 @@ class Switch {
 
   std::uint64_t packets_forwarded() const { return forwarded_; }
 
+  /// Attach a trace recorder: one "net.switch" span per message covering
+  /// first packet arrival to last packet forwarded, with a flow step.
+  void set_trace(sim::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   sim::Simulator* sim_;
   sim::Tick latency_;
   std::vector<Link*> outputs_;
   std::uint64_t forwarded_ = 0;
+  sim::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace gputn::net

@@ -28,13 +28,69 @@ Nic::Nic(sim::Simulator& sim, mem::Memory& memory, net::Fabric& fabric,
 void Nic::ring_doorbell(Command cmd) {
   ++stats_.counter("doorbells");
   sim_->schedule_in(config_.doorbell_latency, [this, cmd = std::move(cmd)] {
-    cmd_queue_.push(cmd);
+    cmd_queue_.push(QueuedCmd{cmd, sim_->now(), -1, false});
   });
 }
 
 void Nic::enqueue_internal(Command cmd) {
+  enqueue_internal(std::move(cmd), -1, false);
+}
+
+void Nic::enqueue_internal(Command cmd, sim::Tick trigger_at,
+                           bool trigger_mmio) {
   ++stats_.counter("internal_cmds");
-  cmd_queue_.push(std::move(cmd));
+  cmd_queue_.push(
+      QueuedCmd{std::move(cmd), sim_->now(), trigger_at, trigger_mmio});
+}
+
+void Nic::stamp_tx(net::Message& msg, sim::Tick t_cmd, sim::Tick t_trigger,
+                   bool trigger_mmio) {
+  msg.flow = fabric_->next_flow();
+  msg.t_cmd = t_cmd;
+  msg.t_trigger = t_trigger;
+  if (trace_ == nullptr) return;
+  std::string args = net::flow_args(msg);
+  if (t_trigger >= 0 && trigger_mmio && !gpu_lane_.empty()) {
+    // Triggered by a GPU store: the flow starts inside the kernel's span
+    // on the gpu lane, steps through the trigger unit's match span, then
+    // through this NIC's tx span.
+    trace_->flow_begin(gpu_lane_, "msg", "flow", t_trigger, msg.flow, args);
+    if (!trig_lane_.empty() && t_cmd >= 0) {
+      trace_->flow_step(trig_lane_, "msg", "flow", t_cmd, msg.flow, args);
+    }
+    trace_->flow_step(trace_lane_, "msg", "flow", sim_->now(), msg.flow,
+                      args);
+  } else if (t_trigger >= 0 && !trig_lane_.empty()) {
+    // Fired by a counting-receive event: causality starts at the trigger
+    // unit, not the GPU.
+    trace_->flow_begin(trig_lane_, "msg", "flow", t_cmd, msg.flow, args);
+    trace_->flow_step(trace_lane_, "msg", "flow", sim_->now(), msg.flow,
+                      args);
+  } else {
+    trace_->flow_begin(trace_lane_, "msg", "flow", sim_->now(), msg.flow,
+                       args);
+  }
+}
+
+void Nic::record_delivery(const RxStamps& s) {
+  sim::Tick now = sim_->now();
+  // Stage deltas in nanoseconds, pow2-bucketed. Recording is pure
+  // bookkeeping (no simulator interaction), so it cannot perturb timing;
+  // it is always on, which is what lets every run report a Figure-8-style
+  // latency decomposition for free.
+  auto rec = [this](const char* name, sim::Tick from, sim::Tick to) {
+    if (from < 0 || to < from) return;
+    stats_.histogram(name).add(static_cast<std::uint64_t>((to - from) /
+                                                          1000));
+  };
+  if (s.t_trigger >= 0) rec("lat.trigger_to_fire", s.t_trigger, s.t_cmd);
+  rec("lat.tx_queue", s.t_cmd, s.t_wire);
+  rec("lat.wire", s.t_wire, s.t_rx);
+  rec("lat.rx_to_deposit", s.t_rx, now);
+  rec("lat.end_to_end", s.t_trigger >= 0 ? s.t_trigger : s.t_cmd, now);
+  if (trace_ != nullptr && s.flow != 0) {
+    trace_->flow_end(trace_lane_, "msg", "flow", now, s.flow);
+  }
 }
 
 void Nic::issue_rndv_pull(const PendingRts& rts, const RecvDesc& r) {
@@ -52,6 +108,7 @@ void Nic::issue_rndv_pull(const PendingRts& rts, const RecvDesc& r) {
   pull.h3 = r.flag;
   pull.h4 = r.flag_value;
   pull.h5 = r.cq_cookie;
+  stamp_tx(pull, sim_->now(), -1, false);
   reliability_.send(std::move(pull));
 }
 
@@ -77,15 +134,18 @@ void Nic::post_recv(RecvDesc r) {
       ++stats_.counter("recvs_matched_unexpected");
       std::uint64_t bytes = msg.payload.size();
       std::uint64_t cookie = r.cq_cookie;
+      RxStamps stamps{msg.flow, msg.t_trigger, msg.t_cmd, msg.t_wire,
+                      msg.t_rx};
       sim_->spawn(
           [](Nic* nic, mem::Addr dst, std::vector<std::byte> payload,
              mem::Addr flag, std::uint64_t flag_value, std::uint64_t cookie,
-             std::uint64_t bytes) -> sim::Task<> {
+             std::uint64_t bytes, RxStamps stamps) -> sim::Task<> {
             co_await nic->land_payload(dst, std::move(payload), flag,
                                        flag_value);
             nic->push_cq(cookie, 3, bytes);
+            nic->record_delivery(stamps);
           }(this, r.local_addr, std::move(msg.payload), r.flag, r.flag_value,
-            cookie, bytes),
+            cookie, bytes, stamps),
           log_.component() + ".land");
       return;
     }
@@ -112,13 +172,13 @@ void Nic::push_cq(std::uint64_t cookie, std::uint32_t kind,
 
 sim::Task<> Nic::tx_loop() {
   for (;;) {
-    Command cmd = co_await cmd_queue_.pop();
+    QueuedCmd qc = co_await cmd_queue_.pop();
     sim::Tick begin = sim_->now();
     co_await sim_->delay(config_.cmd_fetch);
-    const char* kind = std::holds_alternative<PutDesc>(cmd)   ? "put"
-                       : std::holds_alternative<GetDesc>(cmd) ? "get"
-                                                              : "send";
-    co_await execute(std::move(cmd));
+    const char* kind = std::holds_alternative<PutDesc>(qc.cmd)   ? "put"
+                       : std::holds_alternative<GetDesc>(qc.cmd) ? "get"
+                                                                 : "send";
+    co_await execute(std::move(qc));
     if (trace_ != nullptr) {
       trace_->span(trace_lane_, std::string("tx:") + kind, "nic", begin,
                    sim_->now());
@@ -126,7 +186,8 @@ sim::Task<> Nic::tx_loop() {
   }
 }
 
-sim::Task<> Nic::execute(Command cmd) {
+sim::Task<> Nic::execute(QueuedCmd qc) {
+  Command& cmd = qc.cmd;
   if (auto* put = std::get_if<PutDesc>(&cmd)) {
     ++stats_.counter("puts");
     net::Message msg;
@@ -141,6 +202,7 @@ sim::Task<> Nic::execute(Command cmd) {
     // Payload has left the send buffer: local completion.
     set_flag(put->local_flag, put->flag_value);
     push_cq(put->cq_cookie, 1, put->bytes);
+    stamp_tx(msg, qc.enqueued, qc.trigger, qc.trigger_mmio);
     reliability_.send(std::move(msg));
   } else if (auto* get = std::get_if<GetDesc>(&cmd)) {
     ++stats_.counter("gets");
@@ -153,6 +215,7 @@ sim::Task<> Nic::execute(Command cmd) {
     msg.h2 = get->local_addr;    // reply lands here
     msg.h3 = (static_cast<std::uint64_t>(get->local_flag));
     // Stash the flag value in the reply via the target (h2/h3 round-trip).
+    stamp_tx(msg, qc.enqueued, qc.trigger, qc.trigger_mmio);
     reliability_.send(std::move(msg));
     // local_flag is raised when the GetReply lands (rx path).
     (void)get->flag_value;  // carried implicitly: reply uses value 1 + addr
@@ -167,6 +230,7 @@ sim::Task<> Nic::execute(Command cmd) {
       co_await tx_dma_.read_into(msg.payload, send->local_addr, send->bytes);
       set_flag(send->local_flag, send->flag_value);
       push_cq(send->cq_cookie, 2, send->bytes);
+      stamp_tx(msg, qc.enqueued, qc.trigger, qc.trigger_mmio);
       reliability_.send(std::move(msg));
     } else {
       // Rendezvous: ship only the ready-to-send descriptor; the payload
@@ -181,6 +245,7 @@ sim::Task<> Nic::execute(Command cmd) {
       rts.h0 = send->tag;
       rts.h1 = send->bytes;
       rts.h2 = send->local_addr;
+      stamp_tx(rts, qc.enqueued, qc.trigger, qc.trigger_mmio);
       reliability_.send(std::move(rts));
       // Local completion is raised when the pull drains the buffer.
     }
@@ -199,11 +264,15 @@ sim::Task<> Nic::land_payload(mem::Addr dst, std::vector<std::byte>&& payload,
 }
 
 sim::Task<> Nic::handle_rx(net::Message msg) {
+  // Captured before the payload is moved out; data-carrying kinds feed the
+  // stage histograms (and end their trace flow) once the deposit is done.
+  RxStamps stamps{msg.flow, msg.t_trigger, msg.t_cmd, msg.t_wire, msg.t_rx};
   switch (msg.kind) {
     case kPut: {
       ++stats_.counter("puts_received");
       std::uint64_t trigger_tag_plus1 = msg.h3;
       co_await land_payload(msg.h0, std::move(msg.payload), msg.h1, msg.h2);
+      record_delivery(stamps);
       if (trigger_tag_plus1 != 0 && rx_trigger_hook_) {
         // Counting receive event: bump the local trigger counter so a
         // chained operation can fire with no processor involvement.
@@ -227,6 +296,7 @@ sim::Task<> Nic::handle_rx(net::Message msg) {
           co_await land_payload(r.local_addr, std::move(msg.payload), r.flag,
                                 r.flag_value);
           push_cq(r.cq_cookie, 3, bytes);
+          record_delivery(stamps);
           matched = true;
           break;
         }
@@ -273,6 +343,7 @@ sim::Task<> Nic::handle_rx(net::Message msg) {
         push_cq(st->second.cq_cookie, 2, msg.h1);
         rndv_sender_state_.erase(st);
       }
+      stamp_tx(data, sim_->now(), -1, false);
       reliability_.send(std::move(data));
       break;
     }
@@ -282,6 +353,7 @@ sim::Task<> Nic::handle_rx(net::Message msg) {
       std::uint64_t cookie = msg.h3;
       co_await land_payload(msg.h0, std::move(msg.payload), msg.h1, msg.h2);
       push_cq(cookie, 3, bytes);
+      record_delivery(stamps);
       break;
     }
     case kGetReq: {
@@ -294,12 +366,14 @@ sim::Task<> Nic::handle_rx(net::Message msg) {
       reply.h1 = msg.h3;  // initiator's local_flag
       reply.h2 = 1;       // flag value
       co_await tx_dma_.read_into(reply.payload, msg.h0, msg.h1);
+      stamp_tx(reply, sim_->now(), -1, false);
       reliability_.send(std::move(reply));
       break;
     }
     case kGetReply: {
       ++stats_.counter("get_replies_received");
       co_await land_payload(msg.h0, std::move(msg.payload), msg.h1, msg.h2);
+      record_delivery(stamps);
       break;
     }
     default:

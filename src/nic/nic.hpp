@@ -145,6 +145,11 @@ class Nic : public net::MessageSink {
   /// Enqueue a command with no doorbell delay (used by on-NIC agents such as
   /// the triggered-op unit, which is already inside the NIC).
   void enqueue_internal(Command cmd);
+  /// Same, carrying the triggering store's arrival time (latency stage
+  /// `lat.trigger_to_fire`) and whether that store came from the GPU's
+  /// MMIO trigger address (anchors the trace flow on the gpu lane) rather
+  /// than a counting-receive event.
+  void enqueue_internal(Command cmd, sim::Tick trigger_at, bool trigger_mmio);
 
   /// Post a two-sided receive. Matching is FIFO per (src, tag), wildcard
   /// source supported; checks the unexpected queue first.
@@ -170,10 +175,16 @@ class Nic : public net::MessageSink {
   const sim::StatRegistry& stats() const { return stats_; }
 
   /// Attach a trace recorder; TX command and RX message events are
-  /// emitted onto `lane`, retransmission instants included.
-  void set_trace(sim::TraceRecorder* trace, std::string lane) {
+  /// emitted onto `lane`, retransmission instants included. The optional
+  /// sibling lanes let the NIC anchor flow begins on the GPU lane (trigger
+  /// store) and route flow steps through the trigger lane, so the viewer
+  /// draws gpu -> trig -> nic -> fabric -> remote-nic arrows.
+  void set_trace(sim::TraceRecorder* trace, std::string lane,
+                 std::string gpu_lane = {}, std::string trig_lane = {}) {
     trace_ = trace;
     trace_lane_ = lane;
+    gpu_lane_ = std::move(gpu_lane);
+    trig_lane_ = std::move(trig_lane);
     reliability_.set_trace(trace, std::move(lane));
   }
   int posted_recvs() const { return static_cast<int>(posted_.size()); }
@@ -209,10 +220,37 @@ class Nic : public net::MessageSink {
     std::uint64_t cq_cookie;
   };
 
+  /// Command-queue entry: the command plus observability context (when it
+  /// entered the queue and, for triggered ops, when the trigger arrived).
+  struct QueuedCmd {
+    Command cmd;
+    sim::Tick enqueued = -1;
+    sim::Tick trigger = -1;
+    bool trigger_mmio = false;
+  };
+  /// Stamps captured off a delivered message before its payload is moved,
+  /// so latency recording can happen after the deposit DMA completes.
+  struct RxStamps {
+    std::uint64_t flow = 0;
+    sim::Tick t_trigger = -1;
+    sim::Tick t_cmd = -1;
+    sim::Tick t_wire = -1;
+    sim::Tick t_rx = -1;
+  };
+
   sim::Task<> tx_loop();
   sim::Task<> rx_loop();
-  sim::Task<> execute(Command cmd);
+  sim::Task<> execute(QueuedCmd qc);
   sim::Task<> handle_rx(net::Message msg);
+
+  /// Stamp flow id + stage timestamps on an outbound message and emit its
+  /// trace flow begin/steps. Must run before reliability_.send so the
+  /// retransmission window copies carry the flow id.
+  void stamp_tx(net::Message& msg, sim::Tick t_cmd, sim::Tick t_trigger,
+                bool trigger_mmio);
+  /// Record the always-on lat.* stage histograms (and the trace flow end)
+  /// for a message whose payload just deposited.
+  void record_delivery(const RxStamps& s);
   sim::Task<> land_payload(mem::Addr dst, std::vector<std::byte>&& payload,
                            mem::Addr flag, std::uint64_t flag_value);
   /// Receiver side of rendezvous: issue the pull for a matched RTS.
@@ -227,7 +265,7 @@ class Nic : public net::MessageSink {
   NicConfig config_;
   net::NodeId node_id_;
 
-  sim::Channel<Command> cmd_queue_;
+  sim::Channel<QueuedCmd> cmd_queue_;
   sim::Channel<net::Message> rx_queue_;
   mem::DmaEngine tx_dma_;
   mem::DmaEngine rx_dma_;
@@ -241,6 +279,8 @@ class Nic : public net::MessageSink {
 
   sim::TraceRecorder* trace_ = nullptr;
   std::string trace_lane_;
+  std::string gpu_lane_;
+  std::string trig_lane_;
   sim::StatRegistry stats_;
   /// Declared after stats_ (it publishes counters there) and after
   /// node_id_/rx_queue_ (it addresses ACKs and feeds the RX queue).

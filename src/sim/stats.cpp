@@ -2,7 +2,32 @@
 
 #include <cstdio>
 
+#include "sim/json.hpp"
+
 namespace gputn::sim {
+
+double Histogram::quantile(double q) const {
+  std::uint64_t n = acc_.count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  double target = q * static_cast<double>(n);
+  double cum = 0.0;
+  for (int b = 0; b < num_buckets(); ++b) {
+    double c = static_cast<double>(buckets_[b]);
+    if (c == 0.0) continue;
+    if (cum + c >= target) {
+      // Bucket 0 holds only zeros; bucket b >= 1 covers [2^(b-1), 2^b).
+      double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+      double hi = b == 0 ? 0.0 : std::ldexp(1.0, b);
+      double frac = (target - cum) / c;
+      double v = lo + (hi - lo) * frac;
+      return std::min(v, acc_.max());
+    }
+    cum += c;
+  }
+  return acc_.max();
+}
 
 std::string StatRegistry::to_string() const {
   std::string out;
@@ -19,6 +44,79 @@ std::string StatRegistry::to_string() const {
                   acc.mean(), acc.min(), acc.max(), acc.stddev());
     out += buf;
   }
+  for (const auto& [name, h] : histos_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s: n=%llu mean=%.3f p50=%.3f p90=%.3f p99=%.3f "
+                  "max=%.3f\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count()),
+                  h.mean(), h.quantile(0.50), h.quantile(0.90),
+                  h.quantile(0.99), h.max());
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+std::string fmt_num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string stats_json(const StatRegistry& reg) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : reg.counters()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + fmt_u64(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"accumulators\": {";
+  first = true;
+  for (const auto& [name, acc] : reg.accumulators()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": {\"count\": " +
+           fmt_u64(acc.count()) + ", \"mean\": " + fmt_num(acc.mean()) +
+           ", \"min\": " + fmt_num(acc.min()) +
+           ", \"max\": " + fmt_num(acc.max()) +
+           ", \"stddev\": " + fmt_num(acc.stddev()) +
+           ", \"sum\": " + fmt_num(acc.sum()) + "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : reg.histograms()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": {\"count\": " +
+           fmt_u64(h.count()) + ", \"mean\": " + fmt_num(h.mean()) +
+           ", \"min\": " + fmt_num(h.min()) +
+           ", \"max\": " + fmt_num(h.max()) +
+           ", \"p50\": " + fmt_num(h.quantile(0.50)) +
+           ", \"p90\": " + fmt_num(h.quantile(0.90)) +
+           ", \"p99\": " + fmt_num(h.quantile(0.99)) + ", \"buckets\": [";
+    for (int b = 0; b < h.num_buckets(); ++b) {
+      if (b > 0) out += ", ";
+      out += fmt_u64(h.bucket_count(b));
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
   return out;
 }
 

@@ -37,6 +37,28 @@ class Accumulator {
 
   void reset() { *this = Accumulator{}; }
 
+  /// Exact parallel merge (Chan et al. combination of Welford states):
+  /// count/mean/variance/min/max/sum all come out as if every sample had
+  /// been added to one accumulator.
+  void merge(const Accumulator& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    std::uint64_t n = count_ + other.count_;
+    double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) /
+                           static_cast<double>(n);
+    mean_ += delta * static_cast<double>(other.count_) /
+             static_cast<double>(n);
+    count_ = n;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
  private:
   std::uint64_t count_ = 0;
   double mean_ = 0.0;
@@ -60,11 +82,32 @@ class Histogram {
 
   std::uint64_t count() const { return acc_.count(); }
   double mean() const { return acc_.mean(); }
+  double min() const { return acc_.min(); }
+  double max() const { return acc_.max(); }
   std::uint64_t bucket_count(int b) const {
     return b < static_cast<int>(buckets_.size()) ? buckets_[b] : 0;
   }
   int num_buckets() const { return static_cast<int>(buckets_.size()); }
   const Accumulator& summary() const { return acc_; }
+
+  /// Quantile estimate (q in [0, 1]) from the pow2 buckets: walk the
+  /// cumulative counts to the target rank and interpolate linearly within
+  /// the covering bucket [2^(b-1), 2^b). Bucket 0 holds only the value 0.
+  /// The estimate is clamped to the exact observed max so p100 is not
+  /// inflated to the bucket's upper edge.
+  double quantile(double q) const;
+
+  /// Exact bucket-wise merge: the result is identical to having added both
+  /// histograms' samples to one histogram.
+  void merge(const Histogram& other) {
+    if (other.buckets_.size() > buckets_.size()) {
+      buckets_.resize(other.buckets_.size(), 0);
+    }
+    for (std::size_t b = 0; b < other.buckets_.size(); ++b) {
+      buckets_[b] += other.buckets_[b];
+    }
+    acc_.merge(other.acc_);
+  }
 
  private:
   std::vector<std::uint64_t> buckets_;
@@ -77,10 +120,16 @@ class StatRegistry {
  public:
   std::uint64_t& counter(const std::string& name) { return counters_[name]; }
   Accumulator& accumulator(const std::string& name) { return accums_[name]; }
+  Histogram& histogram(const std::string& name) { return histos_[name]; }
 
   std::uint64_t counter_value(const std::string& name) const {
     auto it = counters_.find(name);
     return it != counters_.end() ? it->second : 0;
+  }
+  /// The named histogram, or nullptr if it was never registered.
+  const Histogram* find_histogram(const std::string& name) const {
+    auto it = histos_.find(name);
+    return it != histos_.end() ? &it->second : nullptr;
   }
 
   const std::map<std::string, std::uint64_t>& counters() const {
@@ -89,6 +138,9 @@ class StatRegistry {
   const std::map<std::string, Accumulator>& accumulators() const {
     return accums_;
   }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histos_;
+  }
 
   /// Render all stats as "name = value" lines (for debugging / reports).
   std::string to_string() const;
@@ -96,6 +148,13 @@ class StatRegistry {
  private:
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, Accumulator> accums_;
+  std::map<std::string, Histogram> histos_;
 };
+
+/// Serialize a registry to a JSON object with "counters", "accumulators"
+/// and "histograms" sections; histograms carry p50/p90/p99 quantile
+/// estimates plus the raw pow2 buckets. Deterministic: map iteration is
+/// name-sorted and number formatting is fixed.
+std::string stats_json(const StatRegistry& reg);
 
 }  // namespace gputn::sim

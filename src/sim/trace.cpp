@@ -2,6 +2,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "sim/json.hpp"
 
 namespace gputn::sim {
 
@@ -14,82 +18,116 @@ int TraceRecorder::lane_id(const std::string& lane) {
 }
 
 void TraceRecorder::span(const std::string& lane, const std::string& name,
-                         const std::string& category, Tick begin, Tick end) {
+                         const std::string& category, Tick begin, Tick end,
+                         std::string args) {
   events_.push_back(Event{lane_id(lane), name, category, begin,
-                          end > begin ? end - begin : 0});
+                          end > begin ? end - begin : 0, Phase::kSpan, 0,
+                          std::move(args)});
 }
 
 void TraceRecorder::instant(const std::string& lane, const std::string& name,
-                            const std::string& category, Tick at) {
-  events_.push_back(Event{lane_id(lane), name, category, at, -1});
+                            const std::string& category, Tick at,
+                            std::string args) {
+  events_.push_back(Event{lane_id(lane), name, category, at, 0,
+                          Phase::kInstant, 0, std::move(args)});
+}
+
+void TraceRecorder::flow(Phase ph, const std::string& lane,
+                         const std::string& name,
+                         const std::string& category, Tick at,
+                         std::uint64_t id, std::string args) {
+  events_.push_back(
+      Event{lane_id(lane), name, category, at, 0, ph, id, std::move(args)});
+}
+
+void TraceRecorder::flow_begin(const std::string& lane,
+                               const std::string& name,
+                               const std::string& category, Tick at,
+                               std::uint64_t id, std::string args) {
+  flow(Phase::kFlowStart, lane, name, category, at, id, std::move(args));
+}
+
+void TraceRecorder::flow_step(const std::string& lane,
+                              const std::string& name,
+                              const std::string& category, Tick at,
+                              std::uint64_t id, std::string args) {
+  flow(Phase::kFlowStep, lane, name, category, at, id, std::move(args));
+}
+
+void TraceRecorder::flow_end(const std::string& lane, const std::string& name,
+                             const std::string& category, Tick at,
+                             std::uint64_t id, std::string args) {
+  flow(Phase::kFlowEnd, lane, name, category, at, id, std::move(args));
 }
 
 namespace {
-/// RFC 8259 string escaping: quote, backslash, the common control-character
-/// shorthands, and \u00XX for the rest of the C0 range.
-std::string escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char hex[8];
-          std::snprintf(hex, sizeof(hex), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += hex;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
+/// Microsecond timestamp. Six decimals represent integer-picosecond ticks
+/// exactly, so ts + dur of a span always equals the end tick a concurrent
+/// event (e.g. a flow arrow terminator) was stamped with. Numbers only, so
+/// a small fixed buffer cannot truncate anything.
+std::string fmt_us(Tick t) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", to_us(t));
+  return buf;
 }
 }  // namespace
 
-std::string TraceRecorder::to_json() const {
-  std::string out = "[\n";
-  char buf[512];
-  // Thread-name metadata so viewers show lane names.
+void TraceRecorder::write_json(std::ostream& os) const {
+  os << "[\n";
+  bool first = true;
+  auto emit = [&os, &first](const std::string& line) {
+    if (!first) os << ",\n";
+    first = false;
+    os << line;
+  };
+  // Thread-name metadata so viewers show lane names. Event lines are built
+  // with string concatenation: arbitrarily long lane/name/args strings are
+  // emitted intact (no fixed-size formatting buffer to truncate them).
   for (const auto& [name, id] : lanes_) {
-    std::snprintf(buf, sizeof(buf),
-                  "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":"
-                  "\"thread_name\",\"args\":{\"name\":\"%s\"}},\n",
-                  id, escape(name).c_str());
-    out += buf;
+    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(id) +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+         json_escape(name) + "\"}}");
   }
-  for (std::size_t i = 0; i < events_.size(); ++i) {
-    const Event& e = events_[i];
-    if (e.duration >= 0) {
-      std::snprintf(buf, sizeof(buf),
-                    "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":\"%s\","
-                    "\"cat\":\"%s\",\"ts\":%.3f,\"dur\":%.3f}",
-                    e.lane, escape(e.name).c_str(), escape(e.category).c_str(),
-                    to_us(e.begin), to_us(e.duration));
-    } else {
-      std::snprintf(buf, sizeof(buf),
-                    "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"name\":\"%s\","
-                    "\"cat\":\"%s\",\"ts\":%.3f,\"s\":\"t\"}",
-                    e.lane, escape(e.name).c_str(), escape(e.category).c_str(),
-                    to_us(e.begin));
+  for (const Event& e : events_) {
+    std::string line = "{\"ph\":\"";
+    line.push_back(static_cast<char>(e.phase));
+    line += "\",\"pid\":1,\"tid\":" + std::to_string(e.lane) +
+            ",\"name\":\"" + json_escape(e.name) + "\",\"cat\":\"" +
+            json_escape(e.category) + "\",\"ts\":" + fmt_us(e.begin);
+    switch (e.phase) {
+      case Phase::kSpan:
+        line += ",\"dur\":" + fmt_us(e.duration);
+        break;
+      case Phase::kInstant:
+        line += ",\"s\":\"t\"";
+        break;
+      case Phase::kFlowStart:
+      case Phase::kFlowStep:
+        line += ",\"id\":" + std::to_string(e.flow_id);
+        break;
+      case Phase::kFlowEnd:
+        // Bind the arrow head to the enclosing slice rather than the next
+        // slice to begin on the lane.
+        line += ",\"id\":" + std::to_string(e.flow_id) + ",\"bp\":\"e\"";
+        break;
     }
-    out += buf;
-    out += i + 1 < events_.size() ? ",\n" : "\n";
+    if (!e.args.empty()) line += ",\"args\":" + e.args;
+    line += "}";
+    emit(line);
   }
-  out += "]\n";
-  return out;
+  os << "\n]\n";
+}
+
+std::string TraceRecorder::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
 }
 
 bool TraceRecorder::write_json(const std::string& path) const {
   std::ofstream f(path);
   if (!f) return false;
-  f << to_json();
+  write_json(f);
   return static_cast<bool>(f);
 }
 

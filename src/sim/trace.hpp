@@ -6,9 +6,16 @@
 // is the practical way to inspect protocol interleavings (who waited on
 // whom, where the kernel boundary costs sit) beyond what the ASCII
 // timelines of bench/fig03 show.
+//
+// Flow events (ph "s"/"t"/"f" sharing an id) bind to the enclosing slice on
+// their lane and make the viewer draw causality arrows across lanes — e.g.
+// GPU trigger store -> threshold fire -> NIC tx -> switch hop -> remote
+// deposit for one message. Every emitter may attach a preformatted JSON
+// `args` object ("{...}") shown in the viewer's detail pane.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -19,30 +26,61 @@ namespace gputn::sim {
 
 class TraceRecorder {
  public:
-  /// Record a completed span [begin, end) on `lane`.
+  /// Record a completed span [begin, end) on `lane`. `args`, when
+  /// non-empty, must be a JSON object (including braces).
   void span(const std::string& lane, const std::string& name,
-            const std::string& category, Tick begin, Tick end);
+            const std::string& category, Tick begin, Tick end,
+            std::string args = {});
   /// Record an instantaneous event.
   void instant(const std::string& lane, const std::string& name,
-               const std::string& category, Tick at);
+               const std::string& category, Tick at, std::string args = {});
+
+  /// Flow events: a begin/step/end triple sharing `id` draws arrows between
+  /// the slices enclosing each event (same lane + timestamp). All events of
+  /// one flow should use the same name and category.
+  void flow_begin(const std::string& lane, const std::string& name,
+                  const std::string& category, Tick at, std::uint64_t id,
+                  std::string args = {});
+  void flow_step(const std::string& lane, const std::string& name,
+                 const std::string& category, Tick at, std::uint64_t id,
+                 std::string args = {});
+  void flow_end(const std::string& lane, const std::string& name,
+                const std::string& category, Tick at, std::uint64_t id,
+                std::string args = {});
 
   std::size_t event_count() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
 
   /// Serialize to Chrome Trace Event JSON (returns the JSON text).
   std::string to_json() const;
+  /// Stream the JSON to `os` without materializing it in one string.
+  void write_json(std::ostream& os) const;
   /// Write to a file; returns false on I/O failure.
   bool write_json(const std::string& path) const;
 
  private:
+  /// Chrome trace phase. kFlowStart/Step/End serialize as "s"/"t"/"f".
+  enum class Phase : char {
+    kSpan = 'X',
+    kInstant = 'i',
+    kFlowStart = 's',
+    kFlowStep = 't',
+    kFlowEnd = 'f',
+  };
   struct Event {
     int lane;
     std::string name;
     std::string category;
     Tick begin;
-    Tick duration;  ///< < 0 for instants
+    Tick duration;  ///< spans only
+    Phase phase;
+    std::uint64_t flow_id;  ///< flow events only
+    std::string args;       ///< preformatted JSON object, may be empty
   };
   int lane_id(const std::string& lane);
+  void flow(Phase ph, const std::string& lane, const std::string& name,
+            const std::string& category, Tick at, std::uint64_t id,
+            std::string args);
 
   std::map<std::string, int> lanes_;
   std::vector<Event> events_;

@@ -371,6 +371,7 @@ AllreduceResult run_allreduce(const AllreduceConfig& cfg,
   }
 
   Workspace w(adjusted, cfg);
+  if (cfg.trace != nullptr) w.cluster.enable_tracing(*cfg.trace);
   std::vector<sim::ProcessHandle> ranks;
   for (int r = 0; r < cfg.nodes; ++r) {
     switch (cfg.strategy) {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include "cluster/config.hpp"
+#include "sim/trace.hpp"
 #include "workloads/strategy.hpp"
 
 namespace gputn::workloads {
@@ -37,6 +38,8 @@ struct AllreduceConfig {
   /// (counting receive events arm each forward hop, §6/Underwood et al.) —
   /// the GPU neither polls nor triggers in pure-forwarding steps.
   bool nic_offload_allgather = false;
+  /// Optional Chrome-trace recorder (see JacobiConfig::trace).
+  sim::TraceRecorder* trace = nullptr;
 };
 
 struct AllreduceResult {

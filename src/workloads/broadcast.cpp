@@ -153,6 +153,7 @@ BroadcastResult run_broadcast(const BroadcastConfig& cfg,
   }
 
   Workspace w(adjusted, cfg);
+  if (cfg.trace != nullptr) w.cluster.enable_tracing(*cfg.trace);
   std::vector<sim::ProcessHandle> nodes;
   for (int n = 0; n < cfg.nodes; ++n) {
     switch (cfg.drive) {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include "cluster/config.hpp"
+#include "sim/trace.hpp"
 #include "workloads/strategy.hpp"
 
 namespace gputn::workloads {
@@ -42,6 +43,8 @@ struct BroadcastConfig {
   int nodes = 8;
   std::size_t bytes = 1 << 20;  ///< vector size at the root
   int chunks = 16;              ///< pipeline depth
+  /// Optional Chrome-trace recorder (see JacobiConfig::trace).
+  sim::TraceRecorder* trace = nullptr;
 };
 
 struct BroadcastResult {

@@ -423,6 +423,7 @@ JacobiResult run_jacobi(const JacobiConfig& cfg,
   adjusted.dram_bytes = std::max(adjusted.dram_bytes, grid_bytes + (4u << 20));
 
   Workspace w(adjusted, cfg);
+  if (cfg.trace != nullptr) w.cluster.enable_tracing(*cfg.trace);
   std::vector<sim::ProcessHandle> nodes;
   for (int i = 0; i < kNodes; ++i) {
     switch (cfg.strategy) {

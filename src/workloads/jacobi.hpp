@@ -21,6 +21,7 @@
 #pragma once
 
 #include "cluster/config.hpp"
+#include "sim/trace.hpp"
 #include "workloads/strategy.hpp"
 
 namespace gputn::workloads {
@@ -37,6 +38,11 @@ struct JacobiConfig {
   /// flag the persistent kernel computes the halo-independent interior
   /// while the halos are in flight, then finishes the boundary ring.
   bool overlap = false;
+  /// When non-null, the run records a Chrome trace (Cluster::enable_tracing
+  /// lanes + message flow events) into this recorder. Tracing is pure
+  /// observation: simulated time and all counters are bit-identical to an
+  /// untraced run.
+  sim::TraceRecorder* trace = nullptr;
 };
 
 struct JacobiResult {

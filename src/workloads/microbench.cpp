@@ -364,8 +364,10 @@ MicrobenchResult run_cpu(Rig& r) {
 }  // namespace
 
 MicrobenchResult run_microbench(Strategy strategy,
-                                const cluster::SystemConfig& config) {
+                                const cluster::SystemConfig& config,
+                                sim::TraceRecorder* trace) {
   Rig r(config);
+  if (trace != nullptr) r.cluster.enable_tracing(*trace);
   MicrobenchResult res;
   switch (strategy) {
     case Strategy::kCpu:
@@ -392,6 +394,7 @@ MicrobenchResult run_microbench(Strategy strategy,
   if (res.target_completion <= 0) {
     throw std::runtime_error("microbench: target never observed the payload");
   }
+  r.cluster.export_net_stats(res.net_stats);
   return res;
 }
 

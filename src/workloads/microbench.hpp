@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cluster/config.hpp"
+#include "sim/trace.hpp"
 #include "workloads/strategy.hpp"
 
 namespace gputn::workloads {
@@ -29,12 +30,16 @@ struct MicrobenchResult {
   /// End-to-end metric used for the §5.2 uplift claims.
   sim::Tick end_to_end() const { return target_completion; }
   bool payload_correct = false;
+  /// net.* / rel.* / lat.* counters and histograms captured before teardown.
+  sim::StatRegistry net_stats;
 };
 
 /// Run the one-cache-line microbenchmark under `strategy` on a fresh
-/// 2-node cluster.
+/// 2-node cluster. Pass `trace` to record a Chrome trace of the run
+/// (observability only — does not perturb timing).
 MicrobenchResult run_microbench(Strategy strategy,
-                                const cluster::SystemConfig& config);
+                                const cluster::SystemConfig& config,
+                                sim::TraceRecorder* trace = nullptr);
 
 /// Convenience: Table 2 configuration.
 MicrobenchResult run_microbench(Strategy strategy);

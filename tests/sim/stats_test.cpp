@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/json_lite.hpp"
 #include "sim/random.hpp"
 
 namespace gputn::sim {
@@ -47,6 +48,118 @@ TEST(Histogram, BucketsByPowerOfTwo) {
   EXPECT_EQ(h.bucket_count(3), 1u);
   EXPECT_EQ(h.bucket_count(8), 1u);
   EXPECT_EQ(h.bucket_count(20), 0u);
+}
+
+TEST(Histogram, QuantilesOfConstantStream) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.add(10);
+  // All mass sits in one bucket; interpolation is clamped to the observed
+  // max, so every quantile reports the constant exactly.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+}
+
+TEST(Histogram, QuantilesOfUniformStream) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+  double p50 = h.quantile(0.50);
+  double p90 = h.quantile(0.90);
+  double p99 = h.quantile(0.99);
+  // Linear interpolation inside a power-of-two bucket is near-exact for a
+  // uniform stream.
+  EXPECT_NEAR(p50, 500.0, 30.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max());
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty
+  h.add(0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // zero bucket
+}
+
+TEST(Accumulator, MergeMatchesSingleStream) {
+  Accumulator a, b, all;
+  for (double x : {2.0, 4.0, 4.0, 4.0}) {
+    a.add(x);
+    all.add(x);
+  }
+  for (double x : {5.0, 5.0, 7.0, 9.0}) {
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  EXPECT_NEAR(a.stddev(), all.stddev(), 1e-12);
+
+  Accumulator empty;
+  a.merge(empty);  // merging an empty accumulator is a no-op
+  EXPECT_EQ(a.count(), all.count());
+}
+
+TEST(Histogram, MergeAddsBucketwise) {
+  Histogram a, b, all;
+  for (std::uint64_t v = 1; v <= 500; ++v) {
+    a.add(v);
+    all.add(v);
+  }
+  for (std::uint64_t v = 501; v <= 1000; ++v) {
+    b.add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  for (std::size_t bkt = 0; bkt < 12; ++bkt) {
+    EXPECT_EQ(a.bucket_count(bkt), all.bucket_count(bkt)) << "bucket " << bkt;
+  }
+  EXPECT_DOUBLE_EQ(a.quantile(0.9), all.quantile(0.9));
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StatRegistry, HistogramSlot) {
+  StatRegistry r;
+  r.histogram("lat.wire").add(100);
+  r.histogram("lat.wire").add(200);
+  ASSERT_NE(r.find_histogram("lat.wire"), nullptr);
+  EXPECT_EQ(r.find_histogram("lat.wire")->count(), 2u);
+  EXPECT_EQ(r.find_histogram("absent"), nullptr);
+  EXPECT_NE(r.to_string().find("lat.wire:"), std::string::npos);
+}
+
+TEST(StatRegistry, StatsJsonShape) {
+  StatRegistry r;
+  r.counter("net.pkts") = 12;
+  r.accumulator("rel.rtt").add(3.5);
+  for (std::uint64_t v = 1; v <= 100; ++v) r.histogram("lat.wire").add(v);
+
+  std::string text = stats_json(r);
+  auto parsed = test::json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is_object());
+  EXPECT_DOUBLE_EQ(parsed->at("counters").at("net.pkts").number, 12.0);
+  EXPECT_DOUBLE_EQ(parsed->at("accumulators").at("rel.rtt").at("count").number,
+                   1.0);
+  const auto& h = parsed->at("histograms").at("lat.wire");
+  EXPECT_DOUBLE_EQ(h.at("count").number, 100.0);
+  for (const char* q : {"p50", "p90", "p99", "max"}) {
+    ASSERT_TRUE(h.has(q)) << q;
+  }
+  EXPECT_LE(h.at("p50").number, h.at("p90").number);
+  EXPECT_LE(h.at("p90").number, h.at("p99").number);
+  EXPECT_LE(h.at("p99").number, h.at("max").number);
+  EXPECT_TRUE(h.at("buckets").is_array());
+
+  // Same contents serialize identically (maps iterate sorted).
+  EXPECT_EQ(text, stats_json(r));
 }
 
 TEST(StatRegistry, CountersAndAccumulators) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "../support/json_lite.hpp"
 #include "cluster/cluster.hpp"
 #include "sim/sync.hpp"
 
@@ -122,6 +125,82 @@ TEST(Trace, ClusterIntegrationCapturesGpuNicTrigger) {
   EXPECT_NE(json.find("tx:put"), std::string::npos);
   EXPECT_NE(json.find("FIRE"), std::string::npos);
   EXPECT_GT(trace.event_count(), 5u);
+}
+
+TEST(Trace, FlowEventsShareIdAndParse) {
+  TraceRecorder t;
+  t.span("gpu", "kernel", "gpu", us(1), us(2));
+  t.span("nic", "deposit", "nic", us(3), us(4));
+  t.flow_begin("gpu", "msg", "flow", us(1), 42);
+  t.flow_step("nic", "msg", "flow", us(3), 42);
+  t.flow_end("nic", "msg", "flow", us(3), 42);
+  std::string json = t.to_json();
+
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // The terminating flow event binds to the enclosing slice.
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+
+  auto parsed = test::json::parse(json);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is_array());
+  int flow_events = 0;
+  for (const auto& e : *parsed->array) {
+    std::string ph = e.at("ph").string;
+    if (ph != "s" && ph != "t" && ph != "f") continue;
+    ++flow_events;
+    EXPECT_DOUBLE_EQ(e.at("id").number, 42.0);
+    EXPECT_EQ(e.at("name").string, "msg");
+  }
+  EXPECT_EQ(flow_events, 3);
+}
+
+TEST(Trace, ArgsPassThroughAsJsonObject) {
+  TraceRecorder t;
+  t.span("lane", "msg", "net", 0, ns(10), "{\"flow\":7,\"bytes\":64}");
+  auto parsed = test::json::parse(t.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  bool found = false;
+  for (const auto& e : *parsed->array) {
+    if (!e.has("args") || !e.at("args").has("flow")) continue;
+    found = true;
+    EXPECT_DOUBLE_EQ(e.at("args").at("flow").number, 7.0);
+    EXPECT_DOUBLE_EQ(e.at("args").at("bytes").number, 64.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Trace, LongNamesAreNotTruncated) {
+  // The old serializer rendered each event through a fixed 512-byte
+  // snprintf buffer; a longer name silently produced invalid JSON.
+  TraceRecorder t;
+  std::string name(2000, 'a');
+  name += "END";
+  t.span("lane", name, "cat", 0, ns(5));
+  std::string json = t.to_json();
+  EXPECT_NE(json.find(name), std::string::npos);
+  auto parsed = test::json::parse(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->array->back().at("name").string, name);
+}
+
+TEST(Trace, StreamingWriterMatchesToJson) {
+  TraceRecorder t;
+  t.span("lane", "s", "c", us(1), us(2));
+  t.instant("lane", "i", "c", us(3));
+  t.flow_begin("lane", "m", "f", us(1), 9);
+  std::ostringstream os;
+  t.write_json(os);
+  EXPECT_EQ(os.str(), t.to_json());
+}
+
+TEST(Trace, EmptyRecorderIsValidJson) {
+  TraceRecorder t;
+  auto parsed = test::json::parse(t.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->is_array());
+  EXPECT_TRUE(parsed->array->empty());
 }
 
 TEST(Trace, WriteJsonCreatesFile) {

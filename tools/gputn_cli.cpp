@@ -12,15 +12,24 @@
 //              enables NIC reliable delivery and prints fault/retry stats
 //   --seed S   fault-injection RNG seed (default 1)
 //
-// Exit code is nonzero on verification failure. For Chrome-tracing
-// timeline capture, see examples/trace_capture.cpp.
+// Every subcommand that runs a simulation also accepts observability flags:
+//   --trace FILE       write a Chrome-trace (Perfetto) JSON timeline with
+//                      per-message flow arrows
+//   --stats-json FILE  write counters + latency histograms as JSON
+//   --log-level L      trace|debug|info|warn|error|off (default warn)
+//
+// Exit code is nonzero on verification failure.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "sim/log.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
 #include "workloads/allreduce.hpp"
 #include "workloads/broadcast.hpp"
 #include "workloads/jacobi.hpp"
@@ -41,7 +50,9 @@ namespace {
       "  broadcast: --drive HDN|GPU-TN|NIC-chain --nodes <n> --mb <size> "
       "--chunks <c>\n"
       "  fault injection (jacobi/allreduce/broadcast): --loss <rate> "
-      "--seed <s>\n");
+      "--seed <s>\n"
+      "  observability (any workload): --trace <file> --stats-json <file> "
+      "--log-level trace|debug|info|warn|error|off\n");
   std::exit(2);
 }
 
@@ -115,6 +126,73 @@ void print_net_stats(const Args& args, const sim::StatRegistry& s) {
       static_cast<unsigned long long>(s.counter_value("rel.nacks_tx")));
 }
 
+void apply_log_level(const Args& args) {
+  if (!args.has("log-level")) return;
+  std::string l = args.get("log-level", "warn");
+  if (l == "trace") {
+    sim::LogConfig::set_level(sim::LogLevel::kTrace);
+  } else if (l == "debug") {
+    sim::LogConfig::set_level(sim::LogLevel::kDebug);
+  } else if (l == "info") {
+    sim::LogConfig::set_level(sim::LogLevel::kInfo);
+  } else if (l == "warn") {
+    sim::LogConfig::set_level(sim::LogLevel::kWarn);
+  } else if (l == "error") {
+    sim::LogConfig::set_level(sim::LogLevel::kError);
+  } else if (l == "off") {
+    sim::LogConfig::set_level(sim::LogLevel::kOff);
+  } else {
+    std::fprintf(stderr, "unknown log level '%s'\n", l.c_str());
+    std::exit(2);
+  }
+}
+
+/// --trace / --stats-json handling shared by every workload subcommand.
+/// Owns the TraceRecorder for the run and writes both artifacts at the end.
+class Observability {
+ public:
+  explicit Observability(const Args& args)
+      : trace_path_(args.get("trace", "")),
+        stats_path_(args.get("stats-json", "")) {}
+
+  /// Recorder to hand to the workload config, or nullptr when not requested.
+  sim::TraceRecorder* trace() {
+    return trace_path_.empty() ? nullptr : &recorder_;
+  }
+
+  /// Write the requested artifacts; returns 0, or 1 on I/O failure.
+  int finish(const sim::StatRegistry& stats) {
+    int rc = 0;
+    if (!trace_path_.empty()) {
+      if (recorder_.write_json(trace_path_)) {
+        std::printf("  trace: %s (%zu events)\n", trace_path_.c_str(),
+                    recorder_.event_count());
+      } else {
+        std::fprintf(stderr, "gputn: cannot write trace to '%s'\n",
+                     trace_path_.c_str());
+        rc = 1;
+      }
+    }
+    if (!stats_path_.empty()) {
+      std::ofstream out(stats_path_);
+      out << sim::stats_json(stats) << "\n";
+      if (out.good()) {
+        std::printf("  stats: %s\n", stats_path_.c_str());
+      } else {
+        std::fprintf(stderr, "gputn: cannot write stats to '%s'\n",
+                     stats_path_.c_str());
+        rc = 1;
+      }
+    }
+    return rc;
+  }
+
+ private:
+  std::string trace_path_;
+  std::string stats_path_;
+  sim::TraceRecorder recorder_;
+};
+
 int cmd_config(const Args& args) {
   std::printf("%s", system_config(args).describe().c_str());
   return 0;
@@ -122,7 +200,9 @@ int cmd_config(const Args& args) {
 
 int cmd_microbench(const Args& args) {
   Strategy s = parse_strategy(args.get("strategy", "GPU-TN"));
-  MicrobenchResult res = run_microbench(s);
+  Observability obs(args);
+  MicrobenchResult res =
+      run_microbench(s, cluster::SystemConfig::table2(), obs.trace());
   std::printf("%s one-cache-line microbenchmark:\n", strategy_name(s));
   for (const auto& ph : res.initiator_phases) {
     std::printf("  %-10s %.3f us\n", ph.label.c_str(), ph.us());
@@ -132,7 +212,8 @@ int cmd_microbench(const Args& args) {
   std::printf("  initiator complete  %.3f us\n",
               sim::to_us(res.initiator_completion));
   std::printf("  payload %s\n", res.payload_correct ? "verified" : "WRONG");
-  return res.payload_correct ? 0 : 1;
+  int obs_rc = obs.finish(res.net_stats);
+  return res.payload_correct ? obs_rc : 1;
 }
 
 int cmd_jacobi(const Args& args) {
@@ -141,13 +222,16 @@ int cmd_jacobi(const Args& args) {
   cfg.n = static_cast<int>(args.get_int("n", 256));
   cfg.iterations = static_cast<int>(args.get_int("iterations", 10));
   cfg.overlap = args.has("overlap");
+  Observability obs(args);
+  cfg.trace = obs.trace();
   JacobiResult res = run_jacobi(cfg, system_config(args));
   std::printf("%s Jacobi %dx%d x%d iters: %.2f us total, %.2f us/iter, %s\n",
               strategy_name(cfg.strategy), cfg.n, cfg.n, cfg.iterations,
               sim::to_us(res.total_time), sim::to_us(res.per_iteration()),
               res.correct ? "verified" : "NUMERICS MISMATCH");
   print_net_stats(args, res.net_stats);
-  return res.correct ? 0 : 1;
+  int obs_rc = obs.finish(res.net_stats);
+  return res.correct ? obs_rc : 1;
 }
 
 int cmd_allreduce(const Args& args) {
@@ -157,6 +241,8 @@ int cmd_allreduce(const Args& args) {
   cfg.elements =
       static_cast<std::size_t>(args.get_double("mb", 8.0) * 1024 * 1024 / 4);
   cfg.nic_offload_allgather = args.has("offload");
+  Observability obs(args);
+  cfg.trace = obs.trace();
   AllreduceResult res = run_allreduce(cfg, system_config(args));
   std::printf("%s allreduce, %zu fp32 x %d nodes%s: %.1f us, %s\n",
               strategy_name(cfg.strategy), cfg.elements, cfg.nodes,
@@ -164,7 +250,8 @@ int cmd_allreduce(const Args& args) {
               sim::to_us(res.total_time),
               res.correct ? "exact" : "REDUCTION MISMATCH");
   print_net_stats(args, res.net_stats);
-  return res.correct ? 0 : 1;
+  int obs_rc = obs.finish(res.net_stats);
+  return res.correct ? obs_rc : 1;
 }
 
 int cmd_broadcast(const Args& args) {
@@ -174,13 +261,16 @@ int cmd_broadcast(const Args& args) {
   cfg.bytes =
       static_cast<std::size_t>(args.get_double("mb", 1.0) * 1024 * 1024);
   cfg.chunks = static_cast<int>(args.get_int("chunks", 16));
+  Observability obs(args);
+  cfg.trace = obs.trace();
   BroadcastResult res = run_broadcast(cfg, system_config(args));
   std::printf("%s broadcast, %zu B x %d nodes, %d chunks: %.1f us, %s\n",
               broadcast_drive_name(cfg.drive), cfg.bytes, cfg.nodes,
               cfg.chunks, sim::to_us(res.total_time),
               res.correct ? "verified" : "DATA MISMATCH");
   print_net_stats(args, res.net_stats);
-  return res.correct ? 0 : 1;
+  int obs_rc = obs.finish(res.net_stats);
+  return res.correct ? obs_rc : 1;
 }
 
 }  // namespace
@@ -189,6 +279,7 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   std::string cmd = argv[1];
   Args args(argc, argv, 2);
+  apply_log_level(args);
   // Simulation failures (deadlock watchdog, reliability giving up under a
   // pathological loss rate) surface as exceptions; report them as a normal
   // CLI error instead of an abort.
