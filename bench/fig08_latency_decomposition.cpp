@@ -28,7 +28,7 @@ int main() {
     std::printf("  (done %.2f)\n", sim::to_us(r.initiator_completion));
     std::printf("%-7s target:    data received at %.2f%s\n", "",
                 sim::to_us(r.target_completion),
-                r.payload_correct ? "" : "  [PAYLOAD MISMATCH!]");
+                r.correct ? "" : "  [PAYLOAD MISMATCH!]");
   }
 
   double tn = sim::to_us(results[0].end_to_end());

@@ -1,0 +1,240 @@
+// Event-engine microbenchmark: the calendar-queue + EventFn hot path
+// against the engine this repo started with (std::priority_queue of
+// heap-allocated std::function closures).
+//
+// The baseline below is a faithful miniature of the original
+// sim::Simulator core — same Scheduled record, same (when, seq) ordering
+// comparator, same per-event std::function allocation — so the speedup is
+// the engine swap, not an apples-to-oranges workload change.
+//
+// The event mix was measured from this repo's own workloads (jacobi,
+// allreduce, microbench under the Table 2 config) by instrumenting
+// schedule_at: ~5% zero-delay wakeups, delays clustered at 30-130 ns
+// (doorbells, DMA, wire hops) with tails at 4-8 ns and 0.25-0.5 us, and a
+// steady-state pending-event depth of ~19 events per node (allreduce on
+// the Table 2 machine: avg 76 pending at 4 nodes, 320 at 16, 1217 at 64).
+// The 1024 concurrent chains below reproduce the depth of a ~50-node
+// cluster, the scale-out regime the paper targets. A small far-future
+// share is added on top to keep the overflow/promotion tier honest.
+//
+// Closure sizes follow the real call sites too: zero-delay wakeups carry
+// one pointer (a coroutine handle), while the wire-hop/timer events that
+// dominate the mix capture a pointer plus a small packet or timer record —
+// 32 bytes, as in net/link.cpp and net/switch.cpp ([out, Packet]) and
+// fault/reliability.cpp ([this, peer, epoch]). That is past libstdc++
+// std::function's 16-byte small-object buffer, so the baseline pays the
+// same per-event heap allocation the seed engine paid.
+//
+// Emits BENCH_events.json with events/sec for both engines and the ratio.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Baseline: the seed engine, miniaturised. priority_queue + std::function.
+// --------------------------------------------------------------------------
+class BaselineSim {
+ public:
+  // noinline: the seed's schedule_at and run lived out of line in their own
+  // translation unit; letting the compiler flatten the miniature into the
+  // harness would make the baseline faster than the engine it stands for.
+  __attribute__((noinline)) void schedule_at(gputn::sim::Tick when,
+                                             std::function<void()> fn) {
+    queue_.push(Scheduled{when, next_seq_++, std::move(fn)});
+  }
+  __attribute__((noinline)) void schedule_in(gputn::sim::Tick delay,
+                                             std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+  gputn::sim::Tick now() const { return now_; }
+
+  __attribute__((noinline)) std::uint64_t run() {
+    std::uint64_t executed = 0;
+    while (!queue_.empty()) {
+      // priority_queue::top is const; const_cast move matches the seed.
+      auto& top = const_cast<Scheduled&>(queue_.top());
+      now_ = top.when;
+      std::function<void()> fn = std::move(top.fn);
+      queue_.pop();
+      fn();
+      ++executed;
+    }
+    return executed;
+  }
+
+ private:
+  struct Scheduled {
+    gputn::sim::Tick when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Scheduled& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>>
+      queue_;
+  gputn::sim::Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+// --------------------------------------------------------------------------
+// Workload: a fixed event mix driven identically into either engine.
+// Each executed event reschedules itself until its chain is spent, so the
+// queue stays populated and the measurement is steady-state.
+// --------------------------------------------------------------------------
+constexpr int kChains = 1024;       // concurrent self-rescheduling chains
+constexpr int kEventsPerChain = 1000;
+constexpr std::uint64_t kTotalEvents =
+    static_cast<std::uint64_t>(kChains) * kEventsPerChain;
+
+/// Delay table following the measured distribution (see the header
+/// comment). Precomputed so the timed loop is queue operations, not hash
+/// arithmetic — both engines index the same table.
+constexpr std::size_t kDelayTableSize = 4096;  // power of two, L1-resident
+std::vector<gputn::sim::Tick> build_delay_table() {
+  std::vector<gputn::sim::Tick> t(kDelayTableSize);
+  for (std::size_t i = 0; i < kDelayTableSize; ++i) {
+    std::uint32_t h = static_cast<std::uint32_t>(i * 2654435761u) ^
+                      static_cast<std::uint32_t>(i >> 3);
+    std::uint32_t r = h % 100;
+    gputn::sim::Tick d;
+    if (r < 6) d = 0;                             // wakeup (when == now)
+    else if (r < 16) d = 4096 + (h % 4096);       // 4-8 ns (cmd fetch, hops)
+    else if (r < 36) d = 32768 + (h % 32768);     // 33-65 ns (doorbell, DMA)
+    else if (r < 86) d = 65536 + (h % 65536);     // 65-131 ns (wire, kernel)
+    else if (r < 99) d = 262144 + (h % 262144);   // 0.26-0.52 us (launches)
+    else d = (1 << 22) + (h % (1 << 20));         // ~4 us: overflow tier
+    t[i] = d;
+  }
+  return t;
+}
+const std::vector<gputn::sim::Tick>& delay_table() {
+  static const std::vector<gputn::sim::Tick> t = build_delay_table();
+  return t;
+}
+
+template <typename Sim>
+double measure(Sim& sim) {
+  const gputn::sim::Tick* delays = delay_table().data();
+  struct Chain {
+    Sim* sim;
+    const gputn::sim::Tick* delays;
+    std::uint32_t cursor;
+    int remaining;
+    std::uint64_t checksum = 0;  // forces the closures to do real work
+    // Packet-hand-off record, sized like the real ones (owner pointer plus
+    // a 24-byte Packet — see the header comment).
+    struct Hop {
+      Chain* chain;
+      std::uint64_t payload;
+      std::uint32_t wire_bytes;
+      std::uint32_t flags;
+      std::uint64_t tag;
+    };
+    static_assert(sizeof(Hop) == 32);
+    void fire() {
+      checksum += static_cast<std::uint64_t>(sim->now());
+      if (--remaining > 0) {
+        gputn::sim::Tick d = delays[cursor++ & (kDelayTableSize - 1)];
+        if (d == 0) {
+          // Wakeup: one pointer of state, like a coroutine resumption.
+          sim->schedule_in(0, [this] { this->fire(); });
+        } else {
+          // Wire hop / timer: closure carries the packet it delivers.
+          Hop h{this, checksum, static_cast<std::uint32_t>(d), 0, checksum};
+          sim->schedule_in(d, [h] { h.chain->deliver(h); });
+        }
+      }
+    }
+    void deliver(const Hop& h) {
+      checksum ^= h.payload + h.tag + h.wire_bytes;
+      fire();
+    }
+  };
+  std::vector<Chain> chains(kChains);
+  for (int c = 0; c < kChains; ++c) {
+    chains[c] = Chain{&sim, delays, static_cast<std::uint32_t>(c * 97),
+                      kEventsPerChain};
+    sim.schedule_at(delays[static_cast<std::size_t>(c * 31) &
+                           (kDelayTableSize - 1)],
+                    [&chains, c] { chains[c].fire(); });
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t executed = sim.run();
+  auto t1 = std::chrono::steady_clock::now();
+  if (executed != kTotalEvents) {
+    std::fprintf(stderr, "micro_events: executed %llu, expected %llu\n",
+                 static_cast<unsigned long long>(executed),
+                 static_cast<unsigned long long>(kTotalEvents));
+    std::exit(1);
+  }
+  double secs = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(executed) / secs;
+}
+
+double run_baseline() {
+  BaselineSim sim;
+  return measure(sim);
+}
+
+double run_engine() {
+  gputn::sim::Simulator sim;
+  return measure(sim);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_events.json";
+  const int reps = 5;
+
+  std::printf("micro_events: %llu events per engine, best of %d runs\n",
+              static_cast<unsigned long long>(kTotalEvents), reps);
+  // Interleave the repetitions so frequency/thermal phases of the host hit
+  // both engines alike, and take the MEDIAN of the per-pair ratios: each
+  // ratio compares runs adjacent in time, so a phase shift mid-benchmark
+  // moves both sides of a pair together instead of skewing the result.
+  double baseline_eps = 0.0;
+  double engine_eps = 0.0;
+  std::vector<double> ratios;
+  for (int i = 0; i < reps; ++i) {
+    double b = run_baseline();
+    double e = run_engine();
+    baseline_eps = std::max(baseline_eps, b);
+    engine_eps = std::max(engine_eps, e);
+    ratios.push_back(e / b);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  std::printf("  baseline (priority_queue + std::function): %.2f Mev/s\n",
+              baseline_eps / 1e6);
+  std::printf("  engine   (calendar queue + EventFn):       %.2f Mev/s\n",
+              engine_eps / 1e6);
+  double speedup = ratios[ratios.size() / 2];
+  std::printf("  speedup: %.2fx\n", speedup);
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"events\": " << kTotalEvents << ",\n"
+      << "  \"baseline_eps\": " << static_cast<std::uint64_t>(baseline_eps)
+      << ",\n"
+      << "  \"engine_eps\": " << static_cast<std::uint64_t>(engine_eps)
+      << ",\n"
+      << "  \"speedup\": " << speedup << "\n"
+      << "}\n";
+  if (!out.good()) {
+    std::fprintf(stderr, "micro_events: cannot write %s\n", out_path);
+    return 1;
+  }
+  std::printf("  wrote %s\n", out_path);
+  return 0;
+}

@@ -23,9 +23,7 @@ sim::Tick TriggerTable::lookup_cost(std::size_t position_in_list) const {
 TriggerTable::LookupResult TriggerTable::find_or_create(Tag tag) {
   auto it = index_.find(tag);
   if (it != index_.end()) {
-    std::size_t pos = static_cast<std::size_t>(
-        std::distance(counters_.begin(), it->second));
-    return {&*it->second, lookup_cost(pos), false};
+    return {&*it->second.it, lookup_cost(it->second.pos), false};
   }
   if (config_.lookup == LookupKind::kAssociative &&
       static_cast<int>(counters_.size()) >= config_.associative_entries) {
@@ -35,7 +33,7 @@ TriggerTable::LookupResult TriggerTable::find_or_create(Tag tag) {
   }
   counters_.push_back(TriggerCounter{tag, 0, /*orphan=*/true});
   auto inserted = std::prev(counters_.end());
-  index_.emplace(tag, inserted);
+  index_.emplace(tag, Slot{inserted, counters_.size() - 1});
   ++orphans_created_;
   // A miss walks the whole list in the linked-list variant.
   return {&*inserted, lookup_cost(counters_.size() - 1), true};
@@ -43,17 +41,12 @@ TriggerTable::LookupResult TriggerTable::find_or_create(Tag tag) {
 
 TriggerCounter* TriggerTable::find(Tag tag) {
   auto it = index_.find(tag);
-  return it != index_.end() ? &*it->second : nullptr;
+  return it != index_.end() ? &*it->second.it : nullptr;
 }
 
 sim::Tick TriggerTable::probe_cost(Tag tag) const {
   auto it = index_.find(tag);
-  if (it != index_.end()) {
-    std::size_t pos = static_cast<std::size_t>(
-        std::distance(counters_.begin(),
-                      std::list<TriggerCounter>::const_iterator(it->second)));
-    return lookup_cost(pos);
-  }
+  if (it != index_.end()) return lookup_cost(it->second.pos);
   return lookup_cost(counters_.empty() ? 0 : counters_.size() - 1);
 }
 
@@ -70,9 +63,10 @@ void TriggerTable::register_op(TriggeredOp op,
           std::to_string(config_.associative_entries) + " entries)");
     }
     counters_.push_back(TriggerCounter{op.tag, 0, /*orphan=*/false});
-    index_.emplace(op.tag, std::prev(counters_.end()));
+    index_.emplace(op.tag, Slot{std::prev(counters_.end()),
+                                counters_.size() - 1});
   } else {
-    current = it->second->count;
+    current = it->second.it->count;
   }
   // §3.2: if a GPU already advanced this counter past the threshold, the
   // operation executes immediately on registration.
@@ -86,7 +80,24 @@ void TriggerTable::register_op(TriggeredOp op,
       collect_ready(next, r.counter->count, fired, nullptr, 0);
     }
   }
+  ops_by_tag_[op.tag].push_back(ops_.size());
   ops_.push_back(std::move(op));
+  ++live_ops_;
+}
+
+void TriggerTable::fire_op(TriggeredOp& op, std::vector<nic::Command>& fired,
+                           int* chain_hops, int depth) {
+  op.fired = true;
+  ++ops_fired_;
+  if (op.op.has_value()) fired.push_back(*op.op);
+  // Cascade chained counter increments (Portals triggered CTInc).
+  std::vector<Tag> chain = op.chain;  // copy: keep safe across recursion
+  for (Tag next : chain) {
+    if (chain_hops != nullptr) ++*chain_hops;
+    auto r = find_or_create(next);
+    ++r.counter->count;
+    collect_ready(next, r.counter->count, fired, chain_hops, depth + 1);
+  }
 }
 
 void TriggerTable::collect_ready(Tag tag, std::uint64_t count,
@@ -95,23 +106,18 @@ void TriggerTable::collect_ready(Tag tag, std::uint64_t count,
   if (depth > 64) {
     throw std::runtime_error("trigger chain depth exceeds 64 (cycle?)");
   }
-  // Fire in registration order so multi-op-per-tag schedules are ordered.
-  // Chains may register new firings while we scan; iterate by index.
-  for (std::size_t i = 0; i < ops_.size(); ++i) {
-    if (ops_[i].fired || ops_[i].tag != tag || count < ops_[i].threshold) {
-      continue;
-    }
-    ops_[i].fired = true;
-    ++ops_fired_;
-    if (ops_[i].op.has_value()) fired.push_back(*ops_[i].op);
-    // Cascade chained counter increments (Portals triggered CTInc).
-    std::vector<Tag> chain = ops_[i].chain;  // copy: recursion may realloc
-    for (Tag next : chain) {
-      if (chain_hops != nullptr) ++*chain_hops;
-      auto r = find_or_create(next);
-      ++r.counter->count;
-      collect_ready(next, r.counter->count, fired, chain_hops, depth + 1);
-    }
+  // Only this tag's ops can become ready; the per-tag index holds them in
+  // registration order, so fire order matches a full-table scan. Cascades
+  // may mark later entries fired mid-loop but never append to this vector
+  // (registration happens outside collect_ready), so indexed iteration is
+  // stable.
+  auto it = ops_by_tag_.find(tag);
+  if (it == ops_by_tag_.end()) return;
+  const std::vector<std::size_t>& idxs = it->second;
+  for (std::size_t k = 0; k < idxs.size(); ++k) {
+    TriggeredOp& op = ops_[idxs[k]];
+    if (op.fired || op.released || count < op.threshold) continue;
+    fire_op(op, fired, chain_hops, depth);
   }
 }
 
@@ -125,15 +131,45 @@ void TriggerTable::increment(TriggerCounter& counter,
 void TriggerTable::release(Tag tag) {
   auto it = index_.find(tag);
   if (it == index_.end()) return;
-  counters_.erase(it->second);
+  std::size_t erased_pos = it->second.pos;
+  counters_.erase(it->second.it);
   index_.erase(it);
-  std::erase_if(ops_, [tag](const TriggeredOp& op) { return op.tag == tag; });
+  // Counters behind the erased list node shift forward one position.
+  for (auto& [t, slot] : index_) {
+    if (slot.pos > erased_pos) --slot.pos;
+  }
+  auto ops_it = ops_by_tag_.find(tag);
+  if (ops_it != ops_by_tag_.end()) {
+    for (std::size_t i : ops_it->second) {
+      if (!ops_[i].released) {
+        ops_[i].released = true;
+        --live_ops_;
+        ++released_ops_;
+      }
+    }
+    ops_by_tag_.erase(ops_it);
+  }
+  if (released_ops_ > 64 && released_ops_ * 2 > ops_.size()) compact_ops();
+}
+
+void TriggerTable::compact_ops() {
+  std::vector<TriggeredOp> keep;
+  keep.reserve(ops_.size() - released_ops_);
+  for (TriggeredOp& op : ops_) {
+    if (!op.released) keep.push_back(std::move(op));
+  }
+  ops_ = std::move(keep);
+  released_ops_ = 0;
+  ops_by_tag_.clear();
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    ops_by_tag_[ops_[i].tag].push_back(i);
+  }
 }
 
 int TriggerTable::pending_ops() const {
-  return static_cast<int>(
-      std::count_if(ops_.begin(), ops_.end(),
-                    [](const TriggeredOp& op) { return !op.fired; }));
+  return static_cast<int>(std::count_if(
+      ops_.begin(), ops_.end(),
+      [](const TriggeredOp& op) { return !op.fired && !op.released; }));
 }
 
 }  // namespace gputn::core

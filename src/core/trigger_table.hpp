@@ -70,6 +70,9 @@ struct TriggeredOp {
   bool fired = false;
   std::uint64_t sequence = 0;  ///< registration order (fire order tie-break)
   std::vector<Tag> chain;      ///< counters to increment on firing
+  /// Tombstone set by TriggerTable::release; the slot is skipped until the
+  /// next compaction. Last so existing aggregate initializers still work.
+  bool released = false;
 };
 
 /// The trigger list plus lookup-cost model. Pure data structure: the timed
@@ -115,25 +118,43 @@ class TriggerTable {
 
   int active_counters() const { return static_cast<int>(counters_.size()); }
   int pending_ops() const;
-  int total_ops() const { return static_cast<int>(ops_.size()); }
+  int total_ops() const { return live_ops_; }
   std::uint64_t orphans_created() const { return orphans_created_; }
   std::uint64_t ops_fired() const { return ops_fired_; }
 
   const TriggerTableConfig& config() const { return config_; }
 
  private:
+  /// Index entry: list iterator (stable across unrelated mutations — callers
+  /// hold counter pointers across timed delays) plus the cached list
+  /// position, so the linked-list cost model no longer walks the list on
+  /// every lookup. Positions shift only on release(), which is rare host
+  /// reclaim and pays the O(n) renumbering there.
+  struct Slot {
+    std::list<TriggerCounter>::iterator it;
+    std::size_t pos;
+  };
+
   sim::Tick lookup_cost(std::size_t position_in_list) const;
   void collect_ready(Tag tag, std::uint64_t count,
                      std::vector<nic::Command>& fired, int* chain_hops,
                      int depth);
+  void fire_op(TriggeredOp& op, std::vector<nic::Command>& fired,
+               int* chain_hops, int depth);
+  void compact_ops();
 
   TriggerTableConfig config_;
   // Canonical storage is a list to model the linked-list variant's traversal
   // order; the map accelerates the simulator regardless of the modelled
   // hardware cost.
   std::list<TriggerCounter> counters_;
-  std::unordered_map<Tag, std::list<TriggerCounter>::iterator> index_;
+  std::unordered_map<Tag, Slot> index_;
   std::vector<TriggeredOp> ops_;
+  /// Per-tag indices into ops_, in registration order: increment() touches
+  /// only the incremented tag's ops instead of scanning the whole table.
+  std::unordered_map<Tag, std::vector<std::size_t>> ops_by_tag_;
+  int live_ops_ = 0;
+  std::size_t released_ops_ = 0;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t orphans_created_ = 0;
   std::uint64_t ops_fired_ = 0;

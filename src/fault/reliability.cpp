@@ -23,6 +23,17 @@ std::size_t ReliabilityLayer::unacked() const {
   return n;
 }
 
+// Copy `src` with its payload staged in a pooled buffer (assign into
+// acquired capacity instead of a fresh allocation). `src` is left intact.
+static net::Message pooled_copy(net::BufferPool& pool, net::Message& src) {
+  std::vector<std::byte> payload = std::move(src.payload);
+  net::Message copy = src;  // header-only copy: payload is moved out
+  src.payload = std::move(payload);
+  copy.payload = pool.acquire();
+  copy.payload.assign(src.payload.begin(), src.payload.end());
+  return copy;
+}
+
 void ReliabilityLayer::send(net::Message&& msg) {
   if (!config_.enabled) {
     fabric_->send(std::move(msg));
@@ -37,7 +48,8 @@ void ReliabilityLayer::send(net::Message&& msg) {
   Outstanding out;
   out.rto = rto_for(msg);
   out.deadline = sim_->now() + out.rto;
-  out.msg = msg;  // full copy kept for retransmission
+  // Full copy kept for retransmission, staged in a pooled buffer.
+  out.msg = pooled_copy(fabric_->payload_pool(), msg);
   bool was_empty = tx.window.empty();
   tx.window.push_back(std::move(out));
   fabric_->send(std::move(msg));
@@ -86,8 +98,7 @@ void ReliabilityLayer::retransmit_head(net::NodeId peer, PeerTx& tx,
                         std::to_string(peer),
                     "rel", sim_->now());
   }
-  net::Message copy = head.msg;
-  fabric_->send(std::move(copy));
+  fabric_->send(pooled_copy(fabric_->payload_pool(), head.msg));
 }
 
 void ReliabilityLayer::send_ack(net::NodeId dst, net::Ctrl ctrl,
@@ -109,6 +120,9 @@ void ReliabilityLayer::handle_ack(const net::Message& msg) {
   PeerTx& tx = it->second;
   bool progress = false;
   while (!tx.window.empty() && tx.window.front().msg.seq < msg.ack) {
+    // Acknowledged: the retransmission copy is dead, recycle its buffer.
+    fabric_->payload_pool().release(
+        std::move(tx.window.front().msg.payload));
     tx.window.pop_front();
     progress = true;
   }
@@ -140,6 +154,7 @@ void ReliabilityLayer::on_wire_receive(net::Message&& msg) {
       // No reliability protocol to recover it: drop, as hardware drops a
       // frame with a bad checksum. The loss is visible in this counter.
       ++stats_->counter("rel.corrupt_dropped");
+      fabric_->payload_pool().release(std::move(msg.payload));
       return;
     }
     deliver_up_(std::move(msg));
@@ -158,12 +173,14 @@ void ReliabilityLayer::on_wire_receive(net::Message&& msg) {
     // A corrupted header cannot be trusted, so the NACK requests
     // retransmission from the receive cursor rather than naming msg.seq.
     ++stats_->counter("rel.corrupt_dropped");
+    fabric_->payload_pool().release(std::move(msg.payload));
     send_ack(msg.src, net::Ctrl::kNack, rx.expected);
     return;
   }
   if (msg.seq < rx.expected) {
     // Duplicate — our ACK was probably lost; repeat it.
     ++stats_->counter("rel.dup_dropped");
+    fabric_->payload_pool().release(std::move(msg.payload));
     send_ack(msg.src, net::Ctrl::kAck, rx.expected);
     return;
   }

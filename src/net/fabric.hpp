@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "net/buffer_pool.hpp"
 #include "net/link.hpp"
 #include "net/message.hpp"
 #include "net/switch.hpp"
@@ -90,6 +91,12 @@ class Fabric {
   Link& uplink(NodeId id) { return *uplinks_.at(id); }
   Link& downlink(NodeId id) { return *downlinks_.at(id); }
 
+  /// Shared freelist for Message payload staging buffers. NICs acquire
+  /// before the TX DMA and release once a payload has deposited (or its
+  /// retransmission-window entry is acknowledged); see BufferPool for why
+  /// this cannot affect timing or counters.
+  BufferPool& payload_pool() { return payload_pool_; }
+
  private:
   sim::Simulator* sim_;
   FabricConfig config_;
@@ -102,6 +109,7 @@ class Fabric {
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t flow_counter_ = 0;
+  BufferPool payload_pool_;
   sim::TraceRecorder* trace_ = nullptr;
 };
 

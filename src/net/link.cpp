@@ -40,10 +40,13 @@ sim::Task<> Link::pump() {
       }
       extra = v.extra_delay;
     }
-    // Propagation overlaps with the next packet's serialization.
-    auto fn = downstream_;
-    sim_->schedule_in(propagation_ + extra,
-                      [fn, p = std::move(p)]() mutable { fn(std::move(p)); });
+    // Propagation overlaps with the next packet's serialization. The link
+    // outlives every in-flight packet (pending events are destroyed, never
+    // invoked, on simulator teardown), so capturing `this` keeps the event
+    // small enough for EventFn's inline storage.
+    sim_->schedule_in(
+        propagation_ + extra,
+        [this, p = std::move(p)]() mutable { downstream_(std::move(p)); });
   }
 }
 

@@ -27,8 +27,15 @@ Nic::Nic(sim::Simulator& sim, mem::Memory& memory, net::Fabric& fabric,
 
 void Nic::ring_doorbell(Command cmd) {
   ++stats_.counter("doorbells");
-  sim_->schedule_in(config_.doorbell_latency, [this, cmd = std::move(cmd)] {
-    cmd_queue_.push(QueuedCmd{cmd, sim_->now(), -1, false});
+  // Stage the command and schedule a [this]-only event rather than moving
+  // the (large) Command variant through the queue: the doorbell latency is
+  // constant, so pop-front order equals ring order, and the event always
+  // fits EventFn's inline storage.
+  doorbell_staging_.push_back(std::move(cmd));
+  sim_->schedule_in(config_.doorbell_latency, [this] {
+    cmd_queue_.push(QueuedCmd{std::move(doorbell_staging_.front()),
+                              sim_->now(), -1, false});
+    doorbell_staging_.pop_front();
   });
 }
 
@@ -198,6 +205,7 @@ sim::Task<> Nic::execute(QueuedCmd qc) {
     msg.h1 = put->remote_flag;
     msg.h2 = put->flag_value;
     msg.h3 = put->remote_trigger_tag_plus1;
+    msg.payload = fabric_->payload_pool().acquire();
     co_await tx_dma_.read_into(msg.payload, put->local_addr, put->bytes);
     // Payload has left the send buffer: local completion.
     set_flag(put->local_flag, put->flag_value);
@@ -227,6 +235,7 @@ sim::Task<> Nic::execute(QueuedCmd qc) {
       msg.dst = send->target;
       msg.kind = kSend;
       msg.h0 = send->tag;
+      msg.payload = fabric_->payload_pool().acquire();
       co_await tx_dma_.read_into(msg.payload, send->local_addr, send->bytes);
       set_flag(send->local_flag, send->flag_value);
       push_cq(send->cq_cookie, 2, send->bytes);
@@ -261,6 +270,8 @@ sim::Task<> Nic::land_payload(mem::Addr dst, std::vector<std::byte>&& payload,
   std::vector<std::byte> data = std::move(payload);
   co_await rx_dma_.write_from(dst, data);
   set_flag(flag, flag_value);
+  // The staging buffer's bytes are in memory now; recycle its allocation.
+  fabric_->payload_pool().release(std::move(data));
 }
 
 sim::Task<> Nic::handle_rx(net::Message msg) {
@@ -335,6 +346,7 @@ sim::Task<> Nic::handle_rx(net::Message msg) {
       data.h1 = msg.h3;  // receiver's flag
       data.h2 = msg.h4;  // receiver's flag value
       data.h3 = msg.h5;  // receiver's cq cookie
+      data.payload = fabric_->payload_pool().acquire();
       co_await tx_dma_.read_into(data.payload, msg.h0, msg.h1);
       // Payload has left the send buffer: the send's local completion.
       auto st = rndv_sender_state_.find(msg.h0);
@@ -365,6 +377,7 @@ sim::Task<> Nic::handle_rx(net::Message msg) {
       reply.h0 = msg.h2;  // initiator's local_addr
       reply.h1 = msg.h3;  // initiator's local_flag
       reply.h2 = 1;       // flag value
+      reply.payload = fabric_->payload_pool().acquire();
       co_await tx_dma_.read_into(reply.payload, msg.h0, msg.h1);
       stamp_tx(reply, sim_->now(), -1, false);
       reliability_.send(std::move(reply));

@@ -265,6 +265,9 @@ class Nic : public net::MessageSink {
   NicConfig config_;
   net::NodeId node_id_;
 
+  /// Commands rung but not yet past the doorbell latency; drained FIFO by
+  /// the events ring_doorbell schedules (constant latency keeps order).
+  std::deque<Command> doorbell_staging_;
   sim::Channel<QueuedCmd> cmd_queue_;
   sim::Channel<net::Message> rx_queue_;
   mem::DmaEngine tx_dma_;

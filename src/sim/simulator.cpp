@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdio>
 #include <stdexcept>
@@ -45,6 +47,17 @@ Task<> ProcessHandle::join() {
   if (state_->exception) std::rethrow_exception(state_->exception);
 }
 
+namespace {
+/// Min-heap comparator for the overflow tier: true when `a` fires after `b`.
+struct OverflowAfter {
+  template <typename ItemT>
+  bool operator()(const ItemT& a, const ItemT& b) const {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+};
+}  // namespace
+
 Simulator::Simulator() : log_("sim", &now_) {}
 
 Simulator::~Simulator() { reap_processes(); }
@@ -66,44 +79,196 @@ void Simulator::reap_processes() {
   live_states_.clear();
 }
 
-void Simulator::schedule_at(Tick when, std::function<void()> fn) {
-  assert(when >= now_ && "cannot schedule events in the past");
-  queue_.push(Scheduled{when, next_seq_++, std::move(fn)});
+void Simulator::schedule_overflow(Tick when, EventFn fn) {
+  std::uint64_t blk = block_of(when);
+  overflow_.push_back(Item{when, next_seq_ - 1, std::move(fn)});
+  std::push_heap(overflow_.begin(), overflow_.end(), OverflowAfter{});
+  if (blk < overflow_min_blk_) overflow_min_blk_ = blk;
 }
 
-void Simulator::schedule_in(Tick delay, std::function<void()> fn) {
-  schedule_at(now_ + delay, std::move(fn));
+void Simulator::insert_into_wheel(Item&& item) {
+  std::uint64_t blk = block_of(item.when);
+  std::size_t idx = blk & kBucketMask;
+  wheel_[idx].push_back(std::move(item));
+  OccWord& w = occ_[idx >> 6];
+  std::uint64_t bit = std::uint64_t{1} << (idx & 63);
+  w.occ |= bit;
+  w.dirty |= bit;
 }
 
-std::uint64_t Simulator::run() {
+std::size_t Simulator::next_occupied_offset() const {
+  std::size_t start = cur_blk_ & kBucketMask;
+  std::size_t w0 = start >> 6;
+  unsigned bit0 = static_cast<unsigned>(start & 63);
+  for (std::size_t i = 0; i <= kOccWords; ++i) {
+    std::size_t wi = (w0 + i) & (kOccWords - 1);
+    std::uint64_t word = occ_[wi].occ;
+    if (i == 0) {
+      word &= ~std::uint64_t{0} << bit0;
+    } else if (i == kOccWords) {
+      // Wrapped all the way back to the start word: only bits before the
+      // start position remain unexamined.
+      word &= bit0 ? ~(~std::uint64_t{0} << bit0) : 0;
+    }
+    if (word) {
+      std::size_t bit = wi * 64 + static_cast<std::size_t>(std::countr_zero(word));
+      return (bit + kBuckets - start) & kBucketMask;
+    }
+  }
+  return kBuckets;
+}
+
+void Simulator::promote_overflow() {
+  while (!overflow_.empty() &&
+         block_of(overflow_.front().when) < cur_blk_ + kBuckets) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), OverflowAfter{});
+    insert_into_wheel(std::move(overflow_.back()));
+    overflow_.pop_back();
+  }
+  overflow_min_blk_ = overflow_.empty() ? ~std::uint64_t{0}
+                                        : block_of(overflow_.front().when);
+}
+
+inline bool Simulator::advance_to_next_batch(Tick limit) {
+  for (;;) {
+    // Fast path: the cursor's own bucket still has events. Nothing pending
+    // can be earlier — every other wheel item is in a later block (the
+    // cursor never passes a non-empty bucket) and the overflow tier is
+    // beyond the horizon — so skip the bitmap scan and promotion check.
+    if (!wheel_[cur_blk_ & kBucketMask].empty()) {
+      std::uint64_t blk = cur_blk_;
+      return extract_batch(blk, limit);
+    }
+    std::size_t off = next_occupied_offset();
+    if (off == kBuckets) {
+      if (overflow_.empty()) return false;
+      // Wheel empty: jump the cursor to the earliest overflow block, then
+      // promote everything that now fits the horizon and rescan.
+      cur_blk_ = overflow_min_blk_;
+      promote_overflow();
+      continue;
+    }
+    std::uint64_t blk = cur_blk_ + off;
+    if (blk != cur_blk_) {
+      cur_blk_ = blk;
+      // Every cursor advance must re-promote so no overflow item is ever
+      // behind the horizon. Promoted items land at blocks >= the old
+      // cur_blk_ + kBuckets > blk, so the chosen bucket stays authoritative.
+      if (overflow_min_blk_ < cur_blk_ + kBuckets) promote_overflow();
+    }
+    return extract_batch(blk, limit);
+  }
+}
+
+inline bool Simulator::extract_batch(std::uint64_t blk, Tick limit) {
+  std::size_t idx = blk & kBucketMask;
+  auto& bucket = wheel_[idx];
+  OccWord& w = occ_[idx >> 6];
+  std::uint64_t bit = std::uint64_t{1} << (idx & 63);
+  if (w.dirty & bit) {
+    if (bucket.size() > 1) {
+      std::sort(bucket.begin(), bucket.end(), OverflowAfter{});
+    }
+    w.dirty &= ~bit;
+  }
+  // Sorted descending by (when, seq): the tail is the earliest pending
+  // event, and the run of equal-when items before it is in descending
+  // sequence order, so popping off the back yields the batch already in
+  // FIFO order. Extract ALL events at min_when before executing any —
+  // this is what preserves FIFO-at-equal-time across bucket appends and
+  // overflow promotions. (Anything user code schedules at the batch's
+  // own timestamp goes to the now-FIFO, never this bucket, so the sorted
+  // invariant survives execution.)
+  Tick min_when = bucket.back().when;
+  if (min_when > limit) return false;
+  now_ = min_when;
+  std::size_t n = bucket.size();
+  if (n == 1 || bucket[n - 2].when != min_when) {
+    // The common case: a batch of one. Leave it in single_ so run_loop can
+    // invoke it in place without another relocation.
+    single_ = std::move(bucket.back().fn);
+    have_single_ = true;
+    bucket.pop_back();
+    if (n == 1) w.occ &= ~bit;
+    return true;
+  }
+  batch_.clear();
+  do {
+    batch_.push_back(std::move(bucket.back().fn));
+    bucket.pop_back();
+  } while (!bucket.empty() && bucket.back().when == min_when);
+  if (bucket.empty()) {
+    w.occ &= ~bit;
+  }
+  return true;
+}
+
+std::uint64_t Simulator::run_loop(Tick limit) {
   std::uint64_t executed = 0;
-  while (!queue_.empty()) {
-    // priority_queue::top() is const; the callback is moved out before pop.
-    auto& top = const_cast<Scheduled&>(queue_.top());
-    Tick when = top.when;
-    auto fn = std::move(top.fn);
-    queue_.pop();
-    now_ = when;
-    fn();
-    ++executed;
+  for (;;) {
+    while (fifo_head_ < fifo_.size()) {
+      // Reclaim the consumed prefix if a long same-timestamp chain keeps
+      // appending; amortized O(1) per event.
+      if (fifo_head_ >= 1024 && fifo_head_ * 2 >= fifo_.size()) {
+        fifo_.erase(fifo_.begin(),
+                    fifo_.begin() + static_cast<std::ptrdiff_t>(fifo_head_));
+        fifo_head_ = 0;
+      }
+      EventFn fn = std::move(fifo_[fifo_head_]);
+      ++fifo_head_;
+      fn();
+      ++executed;
+    }
+    if (fifo_head_ != 0) {
+      fifo_.clear();
+      fifo_head_ = 0;
+    }
+    if (!advance_to_next_batch(limit)) break;
+    // Execute the batch in place. Anything it schedules at now() lands in
+    // the FIFO and runs on the next pass — correct, because every batch
+    // item's sequence number predates anything scheduled while it runs.
+    // Invoking through the stored record (no move-out) is safe: user code
+    // never touches single_/batch_, and the records are reset on the next
+    // extraction. If an event throws it counts as consumed (seed
+    // semantics; the local executed count is lost on propagation).
+    if (have_single_) {
+      have_single_ = false;
+      single_();
+      ++executed;
+      continue;
+    }
+    std::size_t bi = 0;
+    try {
+      for (; bi < batch_.size(); ++bi) {
+        batch_[bi]();
+      }
+      executed += batch_.size();
+    } catch (...) {
+      // The rest of the batch must stay runnable and must precede anything
+      // the batch appended to the FIFO.
+      fifo_.insert(fifo_.begin() + static_cast<std::ptrdiff_t>(fifo_head_),
+                   std::make_move_iterator(batch_.begin() +
+                                           static_cast<std::ptrdiff_t>(bi) + 1),
+                   std::make_move_iterator(batch_.end()));
+      batch_.clear();
+      throw;
+    }
+    batch_.clear();
   }
   executed_events_ += executed;
   return executed;
 }
 
+std::uint64_t Simulator::run() { return run_loop(kTickMax); }
+
 std::uint64_t Simulator::run_until(Tick until) {
-  std::uint64_t executed = 0;
-  while (!queue_.empty() && queue_.top().when <= until) {
-    auto& top = const_cast<Scheduled&>(queue_.top());
-    Tick when = top.when;
-    auto fn = std::move(top.fn);
-    queue_.pop();
-    now_ = when;
-    fn();
-    ++executed;
-  }
+  std::uint64_t executed = run_loop(until);
   if (now_ < until) now_ = until;
-  executed_events_ += executed;
+  std::uint64_t blk = block_of(until);
+  if (blk > cur_blk_) {
+    cur_blk_ = blk;
+    promote_overflow();
+  }
   return executed;
 }
 
@@ -136,7 +301,7 @@ void Simulator::finish_process(std::shared_ptr<ProcessHandle::State> state) {
     log_.warn("process '%s' finished with an exception", state->name.c_str());
   }
   for (auto waiter : state->waiters) {
-    schedule_in(0, [waiter] { waiter.resume(); });
+    wake(waiter);
   }
   state->waiters.clear();
   // The frame is currently executing (about to reach final_suspend); reclaim

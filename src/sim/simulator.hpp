@@ -1,20 +1,23 @@
 // Discrete-event simulation kernel.
 //
-// The simulator owns a priority queue of (time, sequence, callback) events.
-// Events at equal times execute in insertion order, which — together with the
-// single-threaded execution model — makes every simulation fully
+// The simulator owns a two-level calendar queue of (time, sequence, callback)
+// events: a "now" FIFO for events at the current timestamp, a bucketed wheel
+// covering the near-term horizon, and a sorted overflow tier for far-future
+// events. Events at equal times execute in insertion order, which — together
+// with the single-threaded execution model — makes every simulation fully
 // deterministic. Coroutine processes (`Task<>`) are driven by scheduling
 // their resumption through this queue.
 #pragma once
 
+#include <array>
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/log.hpp"
 #include "sim/task.hpp"
 #include "sim/units.hpp"
@@ -53,9 +56,49 @@ class Simulator {
   const Tick* now_ptr() const { return &now_; }
 
   /// Schedule a callback at absolute time `when` (must be >= now()).
-  void schedule_at(Tick when, std::function<void()> fn);
+  /// A forwarding template defined inline so hot callers compile down to
+  /// constructing the closure directly in its event slot — no call, no
+  /// intermediate EventFn relocation.
+  template <typename F>
+    requires std::is_invocable_r_v<void, std::remove_cvref_t<F>&>
+  void schedule_at(Tick when, F&& fn) {
+    assert(when >= now_ && "cannot schedule events in the past");
+    next_seq_++;
+    if (when <= now_) {
+      // Current-timestamp event (includes the delay-0 wakeup fast path,
+      // and — under NDEBUG — clamps any past timestamp to now). Appending
+      // preserves sequence order: every pending event at now() is already
+      // in the FIFO.
+      fifo_.emplace_back(std::forward<F>(fn));
+      return;
+    }
+    std::uint64_t blk = block_of(when);
+    if (blk < cur_blk_ + kBuckets) {
+      std::size_t idx = blk & kBucketMask;
+      wheel_[idx].emplace_back(when, next_seq_ - 1, std::forward<F>(fn));
+      OccWord& w = occ_[idx >> 6];
+      std::uint64_t bit = std::uint64_t{1} << (idx & 63);
+      w.occ |= bit;
+      w.dirty |= bit;
+    } else {
+      schedule_overflow(when, EventFn(std::forward<F>(fn)));
+    }
+  }
   /// Schedule a callback `delay` picoseconds from now.
-  void schedule_in(Tick delay, std::function<void()> fn);
+  template <typename F>
+    requires std::is_invocable_r_v<void, std::remove_cvref_t<F>&>
+  void schedule_in(Tick delay, F&& fn) {
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
+
+  /// Zero-allocation fast path: resume `h` at the current timestamp, after
+  /// all already-scheduled events at now(). Equivalent to
+  /// `schedule_in(0, [h] { h.resume(); })` without the closure.
+  void wake(std::coroutine_handle<> h) { schedule_at(now_, EventFn(h)); }
+  /// Zero-allocation fast path: resume `h` after `delay` picoseconds.
+  void schedule_resume(Tick delay, std::coroutine_handle<> h) {
+    schedule_at(now_ + delay, EventFn(h));
+  }
 
   /// Run until the event queue is empty. Returns the number of events
   /// executed by this call.
@@ -70,7 +113,7 @@ class Simulator {
       Tick d;
       bool await_ready() const noexcept { return d <= 0; }
       void await_suspend(std::coroutine_handle<> h) {
-        sim->schedule_in(d, [h] { h.resume(); });
+        sim->schedule_resume(d, h);
       }
       void await_resume() const noexcept {}
     };
@@ -98,23 +141,95 @@ class Simulator {
  private:
   friend class ProcessHandle;
 
-  struct Scheduled {
+  // Calendar geometry: 4096 buckets of 128 ps each give a ~0.52 us horizon
+  // — enough that the per-packet delays (wire hops, doorbells, DMA, all
+  // under ~0.5 us) stay on the wheel and only coarse timeouts and kernel
+  // launches spill to the overflow tier.
+  static constexpr int kBlockShift = 7;  // 128 ps per bucket
+  static constexpr std::size_t kBucketBits = 12;
+  static constexpr std::size_t kBuckets = std::size_t{1} << kBucketBits;
+  static constexpr std::size_t kBucketMask = kBuckets - 1;
+  static constexpr std::size_t kOccWords = kBuckets / 64;
+
+  struct Item {
     Tick when;
     std::uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Scheduled& o) const {
-      if (when != o.when) return when > o.when;
-      return seq > o.seq;
-    }
+    EventFn fn;
   };
+
+  static constexpr std::uint64_t block_of(Tick when) {
+    return static_cast<std::uint64_t>(when) >> kBlockShift;
+  }
+
+  /// Shared core of run()/run_until(): executes events with when <= limit.
+  std::uint64_t run_loop(Tick limit);
+  /// Extracts the earliest pending batch (all events at the minimum pending
+  /// timestamp <= limit, in sequence order) into single_/batch_ and
+  /// advances now() to that timestamp. Returns false if no such batch
+  /// exists. Inlined into run_loop: one call per batch is pure overhead.
+  __attribute__((always_inline)) bool advance_to_next_batch(Tick limit);
+  /// Out-of-line slow path of schedule_at: push onto the far-future heap.
+  void schedule_overflow(Tick when, EventFn fn);
+  /// Pops the equal-timestamp run off the tail of bucket `blk` (sorting it
+  /// first if inserts dirtied it) into single_/batch_ and sets now().
+  /// Returns false without extracting if the bucket's earliest event is
+  /// past `limit`. Inlined into the advance path: it runs once per batch.
+  __attribute__((always_inline)) bool extract_batch(std::uint64_t blk,
+                                                    Tick limit);
+  /// Offset in [0, kBuckets) of the first occupied bucket at or after
+  /// cur_blk_, or kBuckets if the wheel is empty.
+  std::size_t next_occupied_offset() const;
+  /// Moves overflow items that now fall inside the wheel horizon
+  /// [cur_blk_, cur_blk_ + kBuckets) into their buckets. Must be called on
+  /// every cur_blk_ increase so no overflow item is ever behind the cursor.
+  void promote_overflow();
+  void insert_into_wheel(Item&& item);
 
   void finish_process(std::shared_ptr<ProcessHandle::State> state);
 
   Tick now_ = 0;
+  std::uint64_t cur_blk_ = 0;  // invariant: block_of(now_) <= cur_blk_
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_events_ = 0;
   int live_processes_ = 0;
-  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> queue_;
+
+  // Events at when == now(): executed front to back; appends during
+  // execution keep sequence order because only current-time events land
+  // here. This is the zero-delay wakeup fast path — no heap, no sort.
+  std::vector<EventFn> fifo_;
+  std::size_t fifo_head_ = 0;
+
+  // kBuckets lazily-sorted vectors. A bucket is unordered while the cursor
+  // is elsewhere (inserts just append and set its dirty bit); when the
+  // cursor reaches it, it is sorted ONCE, descending by (when, seq), so
+  // every same-timestamp batch is a pop_back run off the tail — O(1) per
+  // event, already in sequence order, no matter how deep the bucket is.
+  std::array<std::vector<Item>, kBuckets> wheel_;
+  // Occupancy ("has events") and dirty ("needs re-sort") bitmaps, word-
+  // interleaved so an insert updates both with one cache line touched.
+  struct OccWord {
+    std::uint64_t occ = 0;
+    std::uint64_t dirty = 0;
+  };
+  std::array<OccWord, kOccWords> occ_{};
+  // Far-future tier: min-heap on (when, seq). A heap (not a sorted vector)
+  // because promotion interleaves with insertion — peeking the minimum must
+  // stay O(1) no matter how many far timeouts pile up between advances.
+  std::vector<Item> overflow_;
+  // block_of(overflow_.front().when), or ~0 when overflow_ is empty.
+  // Cached so the per-advance "anything to promote?" check is one compare
+  // against a hot member instead of a heap peek behind a function call.
+  std::uint64_t overflow_min_blk_ = ~std::uint64_t{0};
+  // Scratch for same-timestamp extraction. Batches are nearly always a
+  // single event (distinct picosecond timestamps), so extraction puts that
+  // case in single_ — invoked in place, no relocation — and only a genuine
+  // equal-timestamp run pays the batch_ vector, already in sequence order
+  // (when/seq are dropped at extraction; ordering was resolved by the
+  // bucket sort).
+  EventFn single_;
+  bool have_single_ = false;
+  std::vector<EventFn> batch_;
+
   /// Detached process frames still running; destroyed (suspended) frames are
   /// reclaimed when the process finishes, and any remainder in ~Simulator.
   std::vector<std::shared_ptr<ProcessHandle::State>> live_states_;

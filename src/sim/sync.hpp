@@ -32,7 +32,7 @@ class Event {
     if (triggered_) return;
     triggered_ = true;
     for (auto h : waiters_) {
-      sim_->schedule_in(0, [h] { h.resume(); });
+      sim_->wake(h);
     }
     waiters_.clear();
   }
@@ -66,7 +66,7 @@ class Condition {
 
   void notify_all() {
     for (auto h : waiters_) {
-      sim_->schedule_in(0, [h] { h.resume(); });
+      sim_->wake(h);
     }
     waiters_.clear();
   }
@@ -108,7 +108,7 @@ class Channel {
     if (!waiters_.empty()) {
       auto h = waiters_.front();
       waiters_.pop_front();
-      sim_->schedule_in(0, [h] { h.resume(); });
+      sim_->wake(h);
     }
   }
 
@@ -130,7 +130,7 @@ class Channel {
     if (!buffer_.empty() && !waiters_.empty()) {
       auto h = waiters_.front();
       waiters_.pop_front();
-      sim_->schedule_in(0, [h] { h.resume(); });
+      sim_->wake(h);
     }
     co_return v;
   }
@@ -183,7 +183,7 @@ class Semaphore {
     if (!waiters_.empty()) {
       auto h = waiters_.front();
       waiters_.pop_front();
-      sim_->schedule_in(0, [h] { h.resume(); });
+      sim_->wake(h);
     } else {
       ++available_;
     }
@@ -244,7 +244,7 @@ class Barrier {
     if (arrived_ == parties_) {
       arrived_ = 0;
       for (auto h : waiters_) {
-        sim_->schedule_in(0, [h] { h.resume(); });
+        sim_->wake(h);
       }
       waiters_.clear();
       co_return;

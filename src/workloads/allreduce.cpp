@@ -3,6 +3,7 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -413,6 +414,9 @@ AllreduceResult run_allreduce(const AllreduceConfig& cfg,
   AllreduceResult res;
   res.strategy = cfg.strategy;
   res.nodes = cfg.nodes;
+  res.label = "allreduce";
+  res.detail = std::to_string(cfg.elements) + " fp32 over " +
+               std::to_string(cfg.nodes) + " ranks";
   res.elements = cfg.elements;
   res.total_time = finished_at;
   w.cluster.export_net_stats(res.net_stats);

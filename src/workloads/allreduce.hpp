@@ -19,14 +19,14 @@
 #pragma once
 
 #include "cluster/config.hpp"
-#include "sim/trace.hpp"
+#include "workloads/options.hpp"
 #include "workloads/strategy.hpp"
 
 namespace gputn::workloads {
 
-struct AllreduceConfig {
-  Strategy strategy = Strategy::kGpuTn;
-  int nodes = 8;
+/// Strategy/nodes/trace come from RunOptions (default 8 nodes, Figure 10).
+struct AllreduceConfig : RunOptions {
+  AllreduceConfig() { nodes = 8; }
   std::size_t elements = 2 * 1024 * 1024;  ///< fp32 count (8 MB, Figure 10)
   int num_wgs = 16;  ///< work-groups per reduce step
   /// GPU-TN pipelines each chunk as up to `num_wgs` slice messages, but a
@@ -38,22 +38,12 @@ struct AllreduceConfig {
   /// (counting receive events arm each forward hop, §6/Underwood et al.) —
   /// the GPU neither polls nor triggers in pure-forwarding steps.
   bool nic_offload_allgather = false;
-  /// Optional Chrome-trace recorder (see JacobiConfig::trace).
-  sim::TraceRecorder* trace = nullptr;
 };
 
-struct AllreduceResult {
-  Strategy strategy;
-  int nodes = 0;
+struct AllreduceResult : ResultBase {
   std::size_t elements = 0;
-  sim::Tick total_time = 0;
-  bool correct = false;
   /// Max |error| vs. the sequential reduction across sampled elements.
   double max_error = 0.0;
-  /// Network-level counters captured before teardown: net.* (fabric/links),
-  /// fault.* (injected faults), rel.* (reliability protocol, summed over
-  /// nodes). Empty-ish for a lossless run: rel.* counters stay absent.
-  sim::StatRegistry net_stats;
 };
 
 AllreduceResult run_allreduce(const AllreduceConfig& cfg,

@@ -1,6 +1,7 @@
 #include "workloads/broadcast.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -184,6 +185,11 @@ BroadcastResult run_broadcast(const BroadcastConfig& cfg,
   BroadcastResult res;
   res.drive = cfg.drive;
   res.nodes = cfg.nodes;
+  res.label = "broadcast";
+  res.mode = broadcast_drive_name(cfg.drive);
+  res.detail = std::to_string(cfg.bytes) + " B in " +
+               std::to_string(cfg.chunks) + " chunks over " +
+               std::to_string(cfg.nodes) + " nodes";
   res.bytes = cfg.bytes;
   res.total_time = finished_at;
   w.cluster.export_net_stats(res.net_stats);

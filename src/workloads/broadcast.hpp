@@ -15,7 +15,7 @@
 #pragma once
 
 #include "cluster/config.hpp"
-#include "sim/trace.hpp"
+#include "workloads/options.hpp"
 #include "workloads/strategy.hpp"
 
 namespace gputn::workloads {
@@ -38,23 +38,18 @@ inline const char* broadcast_drive_name(BroadcastDrive d) {
   return "?";
 }
 
-struct BroadcastConfig {
+/// Nodes/trace come from RunOptions (default 8); the drive enum replaces
+/// the strategy field for this workload (RunOptions::strategy is unused).
+struct BroadcastConfig : RunOptions {
+  BroadcastConfig() { nodes = 8; }
   BroadcastDrive drive = BroadcastDrive::kGpuTn;
-  int nodes = 8;
   std::size_t bytes = 1 << 20;  ///< vector size at the root
   int chunks = 16;              ///< pipeline depth
-  /// Optional Chrome-trace recorder (see JacobiConfig::trace).
-  sim::TraceRecorder* trace = nullptr;
 };
 
-struct BroadcastResult {
-  BroadcastDrive drive;
-  int nodes = 0;
+struct BroadcastResult : ResultBase {
+  BroadcastDrive drive = BroadcastDrive::kGpuTn;
   std::size_t bytes = 0;
-  sim::Tick total_time = 0;
-  bool correct = false;
-  /// net.* / fault.* / rel.* counters captured before teardown.
-  sim::StatRegistry net_stats;
 };
 
 BroadcastResult run_broadcast(const BroadcastConfig& cfg,

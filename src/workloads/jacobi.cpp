@@ -3,6 +3,7 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -461,6 +462,10 @@ JacobiResult run_jacobi(const JacobiConfig& cfg,
 
   JacobiResult res;
   res.strategy = cfg.strategy;
+  res.nodes = kNodes;
+  res.label = "jacobi";
+  res.detail = std::to_string(cfg.n) + "x" + std::to_string(cfg.n) + " local, " +
+               std::to_string(cfg.iterations) + " iters";
   res.n = cfg.n;
   res.iterations = cfg.iterations;
   res.total_time = finished_at;

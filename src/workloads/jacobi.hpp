@@ -21,13 +21,15 @@
 #pragma once
 
 #include "cluster/config.hpp"
-#include "sim/trace.hpp"
+#include "workloads/options.hpp"
 #include "workloads/strategy.hpp"
 
 namespace gputn::workloads {
 
-struct JacobiConfig {
-  Strategy strategy = Strategy::kGpuTn;
+/// Strategy/trace/nodes come from RunOptions; the 2x2 decomposition fixes
+/// the node count at 4.
+struct JacobiConfig : RunOptions {
+  JacobiConfig() { nodes = 4; }
   int n = 256;          ///< local grid edge (Figure 9 x-axis: N x N local)
   int iterations = 10;  ///< measured iterations (steady state)
   /// Work-groups per stencil kernel (<= CU count so the GPU-TN persistent
@@ -38,25 +40,17 @@ struct JacobiConfig {
   /// flag the persistent kernel computes the halo-independent interior
   /// while the halos are in flight, then finishes the boundary ring.
   bool overlap = false;
-  /// When non-null, the run records a Chrome trace (Cluster::enable_tracing
-  /// lanes + message flow events) into this recorder. Tracing is pure
-  /// observation: simulated time and all counters are bit-identical to an
-  /// untraced run.
-  sim::TraceRecorder* trace = nullptr;
 };
 
-struct JacobiResult {
-  Strategy strategy;
+struct JacobiResult : ResultBase {
   int n = 0;
   int iterations = 0;
-  sim::Tick total_time = 0;
-  sim::Tick per_iteration() const { return total_time / iterations; }
+  /// Average per measured iteration; 0 when iterations == 0 (the guarded
+  /// ResultBase::per_op replaces the unconditional division this used to
+  /// do, which was UB at iterations == 0).
+  sim::Tick per_iteration() const { return per_op(iterations); }
   /// Sum over the local grid of node 0 after the last iteration.
   double checksum = 0.0;
-  /// Numerics match the scalar torus reference.
-  bool correct = false;
-  /// net.* / fault.* / rel.* counters captured before teardown.
-  sim::StatRegistry net_stats;
 };
 
 JacobiResult run_jacobi(const JacobiConfig& cfg,

@@ -363,13 +363,12 @@ MicrobenchResult run_cpu(Rig& r) {
 
 }  // namespace
 
-MicrobenchResult run_microbench(Strategy strategy,
-                                const cluster::SystemConfig& config,
-                                sim::TraceRecorder* trace) {
+MicrobenchResult run_microbench(const MicrobenchConfig& cfg,
+                                const cluster::SystemConfig& config) {
   Rig r(config);
-  if (trace != nullptr) r.cluster.enable_tracing(*trace);
+  if (cfg.trace != nullptr) r.cluster.enable_tracing(*cfg.trace);
   MicrobenchResult res;
-  switch (strategy) {
+  switch (cfg.strategy) {
     case Strategy::kCpu:
       res = run_cpu(r);
       break;
@@ -389,13 +388,29 @@ MicrobenchResult run_microbench(Strategy strategy,
       res = run_gnn(r);
       break;
   }
-  res.payload_correct =
-      r.target.memory().load<std::uint64_t>(r.dst) == kMagic;
+  res.correct = r.target.memory().load<std::uint64_t>(r.dst) == kMagic;
   if (res.target_completion <= 0) {
     throw std::runtime_error("microbench: target never observed the payload");
   }
+  res.nodes = 2;
+  res.label = "microbench";
+  res.detail = "one cache line, initiator -> target";
+  res.total_time = res.target_completion;
   r.cluster.export_net_stats(res.net_stats);
   return res;
+}
+
+MicrobenchResult run_microbench(const MicrobenchConfig& cfg) {
+  return run_microbench(cfg, cluster::SystemConfig::table2());
+}
+
+MicrobenchResult run_microbench(Strategy strategy,
+                                const cluster::SystemConfig& config,
+                                sim::TraceRecorder* trace) {
+  MicrobenchConfig cfg;
+  cfg.strategy = strategy;
+  cfg.trace = trace;
+  return run_microbench(cfg, config);
 }
 
 MicrobenchResult run_microbench(Strategy strategy) {

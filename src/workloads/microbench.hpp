@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "cluster/config.hpp"
-#include "sim/trace.hpp"
+#include "workloads/options.hpp"
 #include "workloads/strategy.hpp"
 
 namespace gputn::workloads {
@@ -20,8 +20,15 @@ struct PhaseSpan {
   double us() const { return sim::to_us(end - begin); }
 };
 
-struct MicrobenchResult {
-  Strategy strategy = Strategy::kHdn;
+/// The microbenchmark always pairs two nodes (initiator + target); only
+/// strategy and trace from RunOptions matter.
+struct MicrobenchConfig : RunOptions {
+  MicrobenchConfig() { nodes = 2; }
+};
+
+/// ResultBase::total_time is the §5.2 end-to-end metric (target
+/// completion); ResultBase::correct is the payload verification.
+struct MicrobenchResult : ResultBase {
   std::vector<PhaseSpan> initiator_phases;
   /// When the target observed the payload (its completion flag / recv).
   sim::Tick target_completion = 0;
@@ -29,19 +36,20 @@ struct MicrobenchResult {
   sim::Tick initiator_completion = 0;
   /// End-to-end metric used for the §5.2 uplift claims.
   sim::Tick end_to_end() const { return target_completion; }
-  bool payload_correct = false;
-  /// net.* / rel.* / lat.* counters and histograms captured before teardown.
-  sim::StatRegistry net_stats;
 };
 
-/// Run the one-cache-line microbenchmark under `strategy` on a fresh
-/// 2-node cluster. Pass `trace` to record a Chrome trace of the run
-/// (observability only — does not perturb timing).
+/// Run the one-cache-line microbenchmark on a fresh 2-node cluster. Pass
+/// cfg.trace to record a Chrome trace of the run (observability only —
+/// does not perturb timing).
+MicrobenchResult run_microbench(const MicrobenchConfig& cfg,
+                                const cluster::SystemConfig& config);
+MicrobenchResult run_microbench(const MicrobenchConfig& cfg);
+
+/// Convenience overloads predating MicrobenchConfig; still the tersest way
+/// to sweep strategies in benches.
 MicrobenchResult run_microbench(Strategy strategy,
                                 const cluster::SystemConfig& config,
                                 sim::TraceRecorder* trace = nullptr);
-
-/// Convenience: Table 2 configuration.
 MicrobenchResult run_microbench(Strategy strategy);
 
 }  // namespace gputn::workloads

@@ -1,0 +1,32 @@
+#include "workloads/options.hpp"
+
+#include <cstdio>
+
+namespace gputn::workloads {
+
+std::string ResultBase::stats_json() const {
+  return sim::stats_json(net_stats);
+}
+
+void ResultBase::report() const {
+  const char* m = !mode.empty() ? mode.c_str() : strategy_name(strategy);
+  std::printf("%s [%s] %s: %.2f us, %s\n", label.c_str(), m, detail.c_str(),
+              sim::to_us(total_time),
+              correct ? "verified" : "VERIFICATION FAILED");
+  std::uint64_t drops = net_stats.counter_value("fault.drops");
+  std::uint64_t corruptions = net_stats.counter_value("fault.corruptions");
+  if (drops != 0 || corruptions != 0) {
+    std::printf(
+        "  faults: %llu dropped, %llu corrupted; recovery: %llu retransmits, "
+        "%llu acks, %llu nacks\n",
+        static_cast<unsigned long long>(drops),
+        static_cast<unsigned long long>(corruptions),
+        static_cast<unsigned long long>(
+            net_stats.counter_value("rel.retransmits")),
+        static_cast<unsigned long long>(net_stats.counter_value("rel.acks_tx")),
+        static_cast<unsigned long long>(
+            net_stats.counter_value("rel.nacks_tx")));
+  }
+}
+
+}  // namespace gputn::workloads

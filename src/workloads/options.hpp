@@ -1,0 +1,73 @@
+// Shared workload run options and result base (unified Workload API).
+//
+// Every workload used to re-declare the same plumbing — strategy, trace
+// recorder, node count on the config side; strategy, node count, total time,
+// correctness flag and captured counters on the result side — and every
+// bench/CLI call site re-implemented the same printing and stats-export
+// logic. `RunOptions`/`ResultBase` hoist those fields into one place:
+// workload configs and results inherit them (so existing `cfg.strategy`,
+// `res.total_time`, `res.net_stats` call sites are untouched) and the CLI
+// drives a single `report()`/`stats_json()` path for every workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+#include "sim/units.hpp"
+#include "workloads/strategy.hpp"
+
+namespace gputn::workloads {
+
+/// Options every workload runner understands. Workload configs inherit this
+/// and add their own knobs; their default constructors set the
+/// workload-appropriate node count (Jacobi's 2x2 decomposition fixes 4, the
+/// collectives default to 8, the microbench pairs 2).
+struct RunOptions {
+  Strategy strategy = Strategy::kGpuTn;
+  /// Cluster size. 0 means "workload default" — the generic CLI path leaves
+  /// it 0 unless --nodes was given, and each runner then keeps its config's
+  /// own default.
+  int nodes = 0;
+  /// When non-null, the run records a Chrome trace (Cluster::enable_tracing
+  /// lanes + message flow events) into this recorder. Tracing is pure
+  /// observation: simulated time and all counters are bit-identical to an
+  /// untraced run.
+  sim::TraceRecorder* trace = nullptr;
+};
+
+/// Result fields shared by every workload, plus the single report/export
+/// path. Workload results inherit this; the Registry returns it by value
+/// (sliced), which keeps exactly the generic fields a driver needs.
+struct ResultBase {
+  Strategy strategy = Strategy::kGpuTn;
+  int nodes = 0;
+  std::string label;   ///< workload name, e.g. "jacobi"
+  /// How the run was driven, for report(): usually the strategy name;
+  /// broadcast puts its drive name here. Empty = use strategy_name().
+  std::string mode;
+  /// Human-readable parameter summary for report(), e.g. "256x256 x10 iters".
+  std::string detail;
+  sim::Tick total_time = 0;
+  /// End-to-end verification outcome (numerics / payload / data match).
+  bool correct = false;
+  /// net.* / fault.* / rel.* / lat.* counters and histograms captured
+  /// before teardown.
+  sim::StatRegistry net_stats;
+
+  /// Average time per operation, safe at ops == 0 (returns 0 instead of the
+  /// division UB the per-workload copies used to have).
+  sim::Tick per_op(std::int64_t ops) const {
+    return ops > 0 ? total_time / ops : 0;
+  }
+
+  /// Deterministic JSON of the captured counters/histograms.
+  std::string stats_json() const;
+
+  /// One-line human summary (label, mode, detail, total time, verification)
+  /// plus a fault/recovery line when the run saw injected faults.
+  void report() const;
+};
+
+}  // namespace gputn::workloads

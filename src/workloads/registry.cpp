@@ -1,0 +1,195 @@
+#include "workloads/registry.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "workloads/allreduce.hpp"
+#include "workloads/broadcast.hpp"
+#include "workloads/jacobi.hpp"
+#include "workloads/microbench.hpp"
+
+namespace gputn::workloads {
+
+std::string WorkloadParams::get(const std::string& key,
+                                const std::string& dflt) const {
+  auto it = values_.find(key);
+  return it != values_.end() && !it->second.empty() ? it->second : dflt;
+}
+
+long WorkloadParams::get_int(const std::string& key, long dflt, long min,
+                             long max) const {
+  long v = dflt;
+  auto it = values_.find(key);
+  if (it != values_.end()) {
+    const char* s = it->second.c_str();
+    char* end = nullptr;
+    errno = 0;
+    v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE) {
+      throw std::invalid_argument("--" + key + ": expected an integer, got '" +
+                                  it->second + "'");
+    }
+  }
+  if (v < min || v > max) {
+    throw std::invalid_argument("--" + key + ": " + std::to_string(v) +
+                                " out of range [" + std::to_string(min) + ", " +
+                                std::to_string(max) + "]");
+  }
+  return v;
+}
+
+double WorkloadParams::get_double(const std::string& key, double dflt,
+                                  double min, double max) const {
+  double v = dflt;
+  auto it = values_.find(key);
+  if (it != values_.end()) {
+    const char* s = it->second.c_str();
+    char* end = nullptr;
+    errno = 0;
+    v = std::strtod(s, &end);
+    if (end == s || *end != '\0' || errno == ERANGE) {
+      throw std::invalid_argument("--" + key + ": expected a number, got '" +
+                                  it->second + "'");
+    }
+  }
+  if (!(v >= min && v <= max)) {
+    throw std::invalid_argument("--" + key + ": " + std::to_string(v) +
+                                " out of range [" + std::to_string(min) + ", " +
+                                std::to_string(max) + "]");
+  }
+  return v;
+}
+
+void Registry::add(WorkloadEntry entry) { entries_.push_back(std::move(entry)); }
+
+const WorkloadEntry* Registry::find(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Registry& Registry::instance() {
+  static Registry reg;
+  return reg;
+}
+
+namespace {
+
+Strategy parse_strategy(const std::string& s) {
+  for (Strategy st : kTaxonomyStrategies) {
+    if (s == strategy_name(st)) return st;
+  }
+  throw std::invalid_argument("unknown strategy '" + s +
+                              "' (CPU|HDN|GDS|GPU-TN|GHN|GNN)");
+}
+
+BroadcastDrive parse_drive(const std::string& s) {
+  for (BroadcastDrive d : {BroadcastDrive::kHdn, BroadcastDrive::kGpuTn,
+                           BroadcastDrive::kNicChain}) {
+    if (s == broadcast_drive_name(d)) return d;
+  }
+  throw std::invalid_argument("unknown drive '" + s +
+                              "' (HDN|GPU-TN|NIC-chain)");
+}
+
+/// Copy the shared options into a workload config; opts.nodes == 0 keeps
+/// the workload's own default node count.
+template <typename Cfg>
+Cfg make_config(const RunOptions& opts, const WorkloadParams& p) {
+  Cfg cfg;
+  if (p.has("strategy")) {
+    cfg.strategy = parse_strategy(p.get("strategy", ""));
+  } else {
+    cfg.strategy = opts.strategy;
+  }
+  if (opts.nodes != 0) cfg.nodes = opts.nodes;
+  cfg.trace = opts.trace;
+  return cfg;
+}
+
+ResultBase run_microbench_entry(const RunOptions& opts,
+                                const WorkloadParams& p,
+                                const cluster::SystemConfig& sys) {
+  MicrobenchConfig cfg = make_config<MicrobenchConfig>(opts, p);
+  if (cfg.nodes != 2) {
+    throw std::invalid_argument("microbench always pairs 2 nodes");
+  }
+  MicrobenchResult res = run_microbench(cfg, sys);
+  std::printf("%s one-cache-line microbenchmark:\n",
+              strategy_name(cfg.strategy));
+  for (const auto& ph : res.initiator_phases) {
+    std::printf("  %-10s %.3f us\n", ph.label.c_str(), ph.us());
+  }
+  std::printf("  initiator complete  %.3f us\n",
+              sim::to_us(res.initiator_completion));
+  res.report();
+  return res;
+}
+
+ResultBase run_jacobi_entry(const RunOptions& opts, const WorkloadParams& p,
+                            const cluster::SystemConfig& sys) {
+  JacobiConfig cfg = make_config<JacobiConfig>(opts, p);
+  if (cfg.nodes != 4) {
+    throw std::invalid_argument("jacobi is a fixed 2x2 decomposition: 4 nodes");
+  }
+  cfg.n = static_cast<int>(p.get_int("n", 256, 1, 1 << 14));
+  cfg.iterations = static_cast<int>(p.get_int("iterations", 10, 1, 1 << 20));
+  cfg.overlap = p.flag("overlap");
+  JacobiResult res = run_jacobi(cfg, sys);
+  res.report();
+  std::printf("  per-iteration %.2f us\n", sim::to_us(res.per_iteration()));
+  return res;
+}
+
+ResultBase run_allreduce_entry(const RunOptions& opts, const WorkloadParams& p,
+                               const cluster::SystemConfig& sys) {
+  AllreduceConfig cfg = make_config<AllreduceConfig>(opts, p);
+  if (cfg.nodes < 2) {
+    throw std::invalid_argument("allreduce needs at least 2 ranks");
+  }
+  cfg.elements = static_cast<std::size_t>(
+      p.get_double("mb", 8.0, 1.0 / 1024, 4096.0) * 1024 * 1024 / 4);
+  cfg.nic_offload_allgather = p.flag("offload");
+  AllreduceResult res = run_allreduce(cfg, sys);
+  res.report();
+  if (res.max_error > 0.0) {
+    std::printf("  max |error| %.3g\n", res.max_error);
+  }
+  return res;
+}
+
+ResultBase run_broadcast_entry(const RunOptions& opts, const WorkloadParams& p,
+                               const cluster::SystemConfig& sys) {
+  BroadcastConfig cfg = make_config<BroadcastConfig>(opts, p);
+  if (cfg.nodes < 2) {
+    throw std::invalid_argument("broadcast needs at least 2 nodes");
+  }
+  cfg.drive = parse_drive(p.get("drive", "NIC-chain"));
+  cfg.bytes = static_cast<std::size_t>(
+      p.get_double("mb", 1.0, 1.0 / 1024, 4096.0) * 1024 * 1024);
+  cfg.chunks = static_cast<int>(p.get_int("chunks", 16, 1, 1 << 16));
+  BroadcastResult res = run_broadcast(cfg, sys);
+  res.report();
+  return res;
+}
+
+}  // namespace
+
+void register_builtin_workloads(Registry& reg) {
+  reg.add({"microbench", "one-cache-line latency decomposition (Fig. 8)",
+           "--strategy CPU|HDN|GDS|GPU-TN|GHN|GNN", run_microbench_entry});
+  reg.add({"jacobi", "2-D Jacobi halo exchange on a 2x2 torus (Fig. 9)",
+           "--strategy S --n <grid> --iterations <k> --overlap",
+           run_jacobi_entry});
+  reg.add({"allreduce", "chunked-ring fp32 sum allreduce (Fig. 10)",
+           "--strategy S --nodes <n> --mb <size> --offload",
+           run_allreduce_entry});
+  reg.add({"broadcast", "pipelined ring broadcast / NIC trigger chains",
+           "--drive HDN|GPU-TN|NIC-chain --nodes <n> --mb <size> --chunks <c>",
+           run_broadcast_entry});
+}
+
+}  // namespace gputn::workloads

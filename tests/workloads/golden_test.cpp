@@ -1,0 +1,95 @@
+// Golden regression test for the event engine.
+//
+// The values below are exact simulated times and network counters captured
+// from the original priority_queue engine (seed commit) on the fig09/fig10
+// workload configurations. The calendar-queue rewrite must be an
+// implementation swap only: every timestamp, every counter, and every
+// reduction result has to come out bit-identical. If a change to the engine
+// (or to anything on the hot path) moves one of these numbers, it changed
+// observable event ordering — that is a correctness bug, not a tolerance
+// issue, which is why every comparison here is exact equality.
+#include <gtest/gtest.h>
+
+#include "workloads/allreduce.hpp"
+#include "workloads/jacobi.hpp"
+#include "workloads/microbench.hpp"
+
+namespace gputn::workloads {
+namespace {
+
+struct NetGolden {
+  std::uint64_t messages;
+  std::uint64_t bytes;
+  std::uint64_t switch_packets;
+  std::uint64_t link_bytes;
+  std::uint64_t link_packets;
+  std::uint64_t e2e_count;
+  double e2e_sum;
+};
+
+void expect_net(const sim::StatRegistry& s, const NetGolden& g) {
+  EXPECT_EQ(s.counter_value("net.messages"), g.messages);
+  EXPECT_EQ(s.counter_value("net.bytes"), g.bytes);
+  EXPECT_EQ(s.counter_value("net.switch.packets"), g.switch_packets);
+  EXPECT_EQ(s.counter_value("net.link.bytes"), g.link_bytes);
+  EXPECT_EQ(s.counter_value("net.link.packets"), g.link_packets);
+  const auto* h = s.find_histogram("lat.end_to_end");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), g.e2e_count);
+  EXPECT_EQ(h->summary().sum(), g.e2e_sum);
+}
+
+TEST(Golden, JacobiGpuTnFig09) {
+  JacobiConfig cfg;
+  cfg.strategy = Strategy::kGpuTn;
+  cfg.n = 32;
+  cfg.iterations = 3;
+  JacobiResult r = run_jacobi(cfg);
+  ASSERT_TRUE(r.correct);
+  EXPECT_EQ(r.total_time, 10921398);
+  EXPECT_EQ(r.checksum, 506.31523840206148);
+  expect_net(r.net_stats, {48, 15360, 48, 32256, 96, 48, 27860.0});
+}
+
+TEST(Golden, JacobiHdnFig09) {
+  JacobiConfig cfg;
+  cfg.strategy = Strategy::kHdn;
+  cfg.n = 32;
+  cfg.iterations = 3;
+  JacobiResult r = run_jacobi(cfg);
+  ASSERT_TRUE(r.correct);
+  EXPECT_EQ(r.total_time, 13851398);
+  expect_net(r.net_stats, {48, 15360, 48, 32256, 96, 48, 26772.0});
+}
+
+TEST(Golden, AllreduceGpuTnFig10) {
+  AllreduceConfig cfg;
+  cfg.strategy = Strategy::kGpuTn;
+  cfg.nodes = 4;
+  cfg.elements = 65536;
+  AllreduceResult r = run_allreduce(cfg);
+  ASSERT_TRUE(r.correct);
+  EXPECT_EQ(r.max_error, 0.0);
+  EXPECT_EQ(r.total_time, 36134921);
+  expect_net(r.net_stats, {192, 1585152, 576, 3188736, 1152, 192, 842612.0});
+}
+
+TEST(Golden, AllreduceGdsFig10) {
+  AllreduceConfig cfg;
+  cfg.strategy = Strategy::kGds;
+  cfg.nodes = 4;
+  cfg.elements = 65536;
+  AllreduceResult r = run_allreduce(cfg);
+  ASSERT_TRUE(r.correct);
+  EXPECT_EQ(r.total_time, 53340000);
+  expect_net(r.net_stats, {24, 1574400, 408, 3161856, 816, 24, 159936.0});
+}
+
+TEST(Golden, MicrobenchGpuTnTable1) {
+  MicrobenchResult r = run_microbench(Strategy::kGpuTn);
+  EXPECT_EQ(r.target_completion, 2940000);
+  EXPECT_EQ(r.initiator_completion, 3980000);
+}
+
+}  // namespace
+}  // namespace gputn::workloads

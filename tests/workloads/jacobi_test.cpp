@@ -72,8 +72,10 @@ TEST(Jacobi, CpuCompetitiveOnlyOnSmallGrids) {
   auto hdn_small = run_jacobi(small(Strategy::kHdn, 16, 2));
   EXPECT_LT(cpu_small.per_iteration(), hdn_small.per_iteration());
 
-  JacobiConfig big_cpu{Strategy::kCpu, 256, 4, 16};
-  JacobiConfig big_tn{Strategy::kGpuTn, 256, 4, 16};
+  JacobiConfig big_cpu = small(Strategy::kCpu, 256, 4);
+  big_cpu.num_wgs = 16;
+  JacobiConfig big_tn = small(Strategy::kGpuTn, 256, 4);
+  big_tn.num_wgs = 16;
   auto cpu_big = run_jacobi(big_cpu);
   auto tn_big = run_jacobi(big_tn);
   EXPECT_GT(cpu_big.per_iteration(), tn_big.per_iteration());

@@ -9,7 +9,7 @@ class MicrobenchAllStrategies : public ::testing::TestWithParam<Strategy> {};
 
 TEST_P(MicrobenchAllStrategies, DeliversThePayload) {
   MicrobenchResult res = run_microbench(GetParam());
-  EXPECT_TRUE(res.payload_correct) << strategy_name(GetParam());
+  EXPECT_TRUE(res.correct) << strategy_name(GetParam());
   EXPECT_GT(res.target_completion, 0);
   EXPECT_GT(res.initiator_completion, 0);
 }
@@ -104,7 +104,7 @@ TEST(Microbench, GhnBurnsAHelperThread) {
   // The cost Table 1 lists for GPU Host Networking: a dedicated service
   // thread polls on the host for the whole run.
   auto res = run_microbench(Strategy::kGhn);
-  EXPECT_TRUE(res.payload_correct);
+  EXPECT_TRUE(res.correct);
 }
 
 TEST(Microbench, KernelLaunchDominatesGpuStrategies) {

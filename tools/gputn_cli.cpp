@@ -1,39 +1,37 @@
 // gputn — command-line driver for the simulation experiments.
 //
 //   gputn config     [--loss P]
-//   gputn microbench [--strategy CPU|HDN|GDS|GPU-TN|GHN|GNN]
-//   gputn jacobi     [--strategy S] [--n N] [--iterations K] [--overlap]
-//   gputn allreduce  [--strategy S] [--nodes N] [--mb M] [--offload]
-//   gputn broadcast  [--drive HDN|GPU-TN|NIC-chain] [--nodes N] [--mb M]
-//                    [--chunks C]
+//   gputn <workload> [workload options]
+//
+// Workloads come from workloads::Registry (microbench, jacobi, allreduce,
+// broadcast); `gputn` with no arguments lists them. Shared options:
+//   --strategy S   driving strategy where the workload takes one
+//   --nodes N      node count where the workload is size-flexible
 //
 // jacobi/allreduce/broadcast additionally accept fault injection:
 //   --loss P   uniform per-packet loss rate on every link (e.g. 0.01);
 //              enables NIC reliable delivery and prints fault/retry stats
 //   --seed S   fault-injection RNG seed (default 1)
 //
-// Every subcommand that runs a simulation also accepts observability flags:
+// Every workload also accepts observability flags:
 //   --trace FILE       write a Chrome-trace (Perfetto) JSON timeline with
 //                      per-message flow arrows
 //   --stats-json FILE  write counters + latency histograms as JSON
 //   --log-level L      trace|debug|info|warn|error|off (default warn)
 //
-// Exit code is nonzero on verification failure.
+// Exit code is nonzero on verification failure or bad arguments.
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
-#include <vector>
 
 #include "sim/log.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
-#include "workloads/allreduce.hpp"
-#include "workloads/broadcast.hpp"
-#include "workloads/jacobi.hpp"
-#include "workloads/microbench.hpp"
+#include "workloads/registry.hpp"
 
 using namespace gputn;
 using namespace gputn::workloads;
@@ -41,15 +39,16 @@ using namespace gputn::workloads;
 namespace {
 
 [[noreturn]] void usage() {
+  std::fprintf(stderr, "usage: gputn <command> [opts]\n\n  config");
+  std::fprintf(stderr, "%-12s print the simulated system parameters\n", "");
+  for (const auto& e : Registry::instance().entries()) {
+    std::fprintf(stderr, "  %-18s %s\n", e.name.c_str(),
+                 e.description.c_str());
+    std::fprintf(stderr, "  %-18s   %s\n", "", e.options_help.c_str());
+  }
   std::fprintf(
       stderr,
-      "usage: gputn <config|microbench|jacobi|allreduce|broadcast> [opts]\n"
-      "  common: --strategy CPU|HDN|GDS|GPU-TN (+GHN|GNN for microbench)\n"
-      "  jacobi: --n <grid> --iterations <k> --overlap\n"
-      "  allreduce: --nodes <n> --mb <size> --offload\n"
-      "  broadcast: --drive HDN|GPU-TN|NIC-chain --nodes <n> --mb <size> "
-      "--chunks <c>\n"
-      "  fault injection (jacobi/allreduce/broadcast): --loss <rate> "
+      "\n  fault injection (jacobi/allreduce/broadcast): --loss <rate> "
       "--seed <s>\n"
       "  observability (any workload): --trace <file> --stats-json <file> "
       "--log-level trace|debug|info|warn|error|off\n");
@@ -76,55 +75,11 @@ class Args {
     auto it = values_.find(k);
     return it != values_.end() && !it->second.empty() ? it->second : dflt;
   }
-  long get_int(const std::string& k, long dflt) const {
-    auto it = values_.find(k);
-    return it != values_.end() ? std::atol(it->second.c_str()) : dflt;
-  }
-  double get_double(const std::string& k, double dflt) const {
-    auto it = values_.find(k);
-    return it != values_.end() ? std::atof(it->second.c_str()) : dflt;
-  }
+  const std::map<std::string, std::string>& all() const { return values_; }
 
  private:
   std::map<std::string, std::string> values_;
 };
-
-Strategy parse_strategy(const std::string& s) {
-  for (Strategy st : kTaxonomyStrategies) {
-    if (s == strategy_name(st)) return st;
-  }
-  std::fprintf(stderr, "unknown strategy '%s'\n", s.c_str());
-  std::exit(2);
-}
-
-BroadcastDrive parse_drive(const std::string& s) {
-  for (BroadcastDrive d : {BroadcastDrive::kHdn, BroadcastDrive::kGpuTn,
-                           BroadcastDrive::kNicChain}) {
-    if (s == broadcast_drive_name(d)) return d;
-  }
-  std::fprintf(stderr, "unknown drive '%s'\n", s.c_str());
-  std::exit(2);
-}
-
-/// Table 2, plus --loss/--seed fault injection when requested.
-cluster::SystemConfig system_config(const Args& args) {
-  return cluster::SystemConfig::table2_with_loss(
-      args.get_double("loss", 0.0),
-      static_cast<std::uint64_t>(args.get_int("seed", 1)));
-}
-
-/// One summary line of the fault/retry counters a lossy run produced.
-void print_net_stats(const Args& args, const sim::StatRegistry& s) {
-  if (!args.has("loss")) return;
-  std::printf(
-      "  faults: %llu dropped, %llu corrupted; recovery: %llu retransmits, "
-      "%llu acks, %llu nacks\n",
-      static_cast<unsigned long long>(s.counter_value("fault.drops")),
-      static_cast<unsigned long long>(s.counter_value("fault.corruptions")),
-      static_cast<unsigned long long>(s.counter_value("rel.retransmits")),
-      static_cast<unsigned long long>(s.counter_value("rel.acks_tx")),
-      static_cast<unsigned long long>(s.counter_value("rel.nacks_tx")));
-}
 
 void apply_log_level(const Args& args) {
   if (!args.has("log-level")) return;
@@ -161,7 +116,7 @@ class Observability {
   }
 
   /// Write the requested artifacts; returns 0, or 1 on I/O failure.
-  int finish(const sim::StatRegistry& stats) {
+  int finish(const ResultBase& res) {
     int rc = 0;
     if (!trace_path_.empty()) {
       if (recorder_.write_json(trace_path_)) {
@@ -175,7 +130,7 @@ class Observability {
     }
     if (!stats_path_.empty()) {
       std::ofstream out(stats_path_);
-      out << sim::stats_json(stats) << "\n";
+      out << res.stats_json() << "\n";
       if (out.good()) {
         std::printf("  stats: %s\n", stats_path_.c_str());
       } else {
@@ -193,102 +148,70 @@ class Observability {
   sim::TraceRecorder recorder_;
 };
 
-int cmd_config(const Args& args) {
-  std::printf("%s", system_config(args).describe().c_str());
-  return 0;
+/// The RunOptions fields and driver-level flags everything shares; the rest
+/// of the command line becomes the workload's WorkloadParams.
+bool is_driver_key(const std::string& k) {
+  return k == "nodes" || k == "trace" || k == "stats-json" ||
+         k == "log-level" || k == "loss" || k == "seed";
 }
 
-int cmd_microbench(const Args& args) {
-  Strategy s = parse_strategy(args.get("strategy", "GPU-TN"));
-  Observability obs(args);
-  MicrobenchResult res =
-      run_microbench(s, cluster::SystemConfig::table2(), obs.trace());
-  std::printf("%s one-cache-line microbenchmark:\n", strategy_name(s));
-  for (const auto& ph : res.initiator_phases) {
-    std::printf("  %-10s %.3f us\n", ph.label.c_str(), ph.us());
+int run_workload(const WorkloadEntry& entry, const Args& args) {
+  WorkloadParams params;
+  for (const auto& [k, v] : args.all()) {
+    if (!is_driver_key(k)) params.set(k, v);
   }
-  std::printf("  target completion   %.3f us\n",
-              sim::to_us(res.target_completion));
-  std::printf("  initiator complete  %.3f us\n",
-              sim::to_us(res.initiator_completion));
-  std::printf("  payload %s\n", res.payload_correct ? "verified" : "WRONG");
-  int obs_rc = obs.finish(res.net_stats);
-  return res.payload_correct ? obs_rc : 1;
-}
 
-int cmd_jacobi(const Args& args) {
-  JacobiConfig cfg;
-  cfg.strategy = parse_strategy(args.get("strategy", "GPU-TN"));
-  cfg.n = static_cast<int>(args.get_int("n", 256));
-  cfg.iterations = static_cast<int>(args.get_int("iterations", 10));
-  cfg.overlap = args.has("overlap");
   Observability obs(args);
-  cfg.trace = obs.trace();
-  JacobiResult res = run_jacobi(cfg, system_config(args));
-  std::printf("%s Jacobi %dx%d x%d iters: %.2f us total, %.2f us/iter, %s\n",
-              strategy_name(cfg.strategy), cfg.n, cfg.n, cfg.iterations,
-              sim::to_us(res.total_time), sim::to_us(res.per_iteration()),
-              res.correct ? "verified" : "NUMERICS MISMATCH");
-  print_net_stats(args, res.net_stats);
-  int obs_rc = obs.finish(res.net_stats);
-  return res.correct ? obs_rc : 1;
-}
+  RunOptions opts;  // nodes stays 0 (= workload default) without --nodes
+  opts.trace = obs.trace();
+  if (args.has("nodes")) {
+    WorkloadParams n;
+    n.set("nodes", args.get("nodes", ""));
+    opts.nodes = static_cast<int>(n.get_int("nodes", 0, 2, 1 << 16));
+  }
 
-int cmd_allreduce(const Args& args) {
-  AllreduceConfig cfg;
-  cfg.strategy = parse_strategy(args.get("strategy", "GPU-TN"));
-  cfg.nodes = static_cast<int>(args.get_int("nodes", 8));
-  cfg.elements =
-      static_cast<std::size_t>(args.get_double("mb", 8.0) * 1024 * 1024 / 4);
-  cfg.nic_offload_allgather = args.has("offload");
-  Observability obs(args);
-  cfg.trace = obs.trace();
-  AllreduceResult res = run_allreduce(cfg, system_config(args));
-  std::printf("%s allreduce, %zu fp32 x %d nodes%s: %.1f us, %s\n",
-              strategy_name(cfg.strategy), cfg.elements, cfg.nodes,
-              cfg.nic_offload_allgather ? " (NIC-offloaded allgather)" : "",
-              sim::to_us(res.total_time),
-              res.correct ? "exact" : "REDUCTION MISMATCH");
-  print_net_stats(args, res.net_stats);
-  int obs_rc = obs.finish(res.net_stats);
-  return res.correct ? obs_rc : 1;
-}
+  // Table 2, plus --loss/--seed fault injection when requested. Validated
+  // through WorkloadParams so `--loss lots` is a usage error, not 0.0.
+  WorkloadParams fault;
+  if (args.has("loss")) fault.set("loss", args.get("loss", ""));
+  if (args.has("seed")) fault.set("seed", args.get("seed", ""));
+  cluster::SystemConfig sys = cluster::SystemConfig::table2_with_loss(
+      fault.get_double("loss", 0.0, 0.0, 1.0),
+      static_cast<std::uint64_t>(fault.get_int("seed", 1, 0, LONG_MAX)));
 
-int cmd_broadcast(const Args& args) {
-  BroadcastConfig cfg;
-  cfg.drive = parse_drive(args.get("drive", "NIC-chain"));
-  cfg.nodes = static_cast<int>(args.get_int("nodes", 8));
-  cfg.bytes =
-      static_cast<std::size_t>(args.get_double("mb", 1.0) * 1024 * 1024);
-  cfg.chunks = static_cast<int>(args.get_int("chunks", 16));
-  Observability obs(args);
-  cfg.trace = obs.trace();
-  BroadcastResult res = run_broadcast(cfg, system_config(args));
-  std::printf("%s broadcast, %zu B x %d nodes, %d chunks: %.1f us, %s\n",
-              broadcast_drive_name(cfg.drive), cfg.bytes, cfg.nodes,
-              cfg.chunks, sim::to_us(res.total_time),
-              res.correct ? "verified" : "DATA MISMATCH");
-  print_net_stats(args, res.net_stats);
-  int obs_rc = obs.finish(res.net_stats);
+  ResultBase res = entry.run(opts, params, sys);
+  int obs_rc = obs.finish(res);
   return res.correct ? obs_rc : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  register_builtin_workloads(Registry::instance());
   if (argc < 2) usage();
   std::string cmd = argv[1];
   Args args(argc, argv, 2);
   apply_log_level(args);
-  // Simulation failures (deadlock watchdog, reliability giving up under a
-  // pathological loss rate) surface as exceptions; report them as a normal
-  // CLI error instead of an abort.
+  // Bad parameters and simulation failures (deadlock watchdog, reliability
+  // giving up under a pathological loss rate) surface as exceptions; report
+  // them as a normal CLI error instead of an abort.
   try {
-    if (cmd == "config") return cmd_config(args);
-    if (cmd == "microbench") return cmd_microbench(args);
-    if (cmd == "jacobi") return cmd_jacobi(args);
-    if (cmd == "allreduce") return cmd_allreduce(args);
-    if (cmd == "broadcast") return cmd_broadcast(args);
+    if (cmd == "config") {
+      WorkloadParams fault;
+      if (args.has("loss")) fault.set("loss", args.get("loss", ""));
+      if (args.has("seed")) fault.set("seed", args.get("seed", ""));
+      auto sys = cluster::SystemConfig::table2_with_loss(
+          fault.get_double("loss", 0.0, 0.0, 1.0),
+          static_cast<std::uint64_t>(fault.get_int("seed", 1, 0, LONG_MAX)));
+      std::printf("%s", sys.describe().c_str());
+      return 0;
+    }
+    if (const WorkloadEntry* entry = Registry::instance().find(cmd)) {
+      return run_workload(*entry, args);
+    }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "gputn: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gputn: %s\n", e.what());
     return 1;
