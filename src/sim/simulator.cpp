@@ -94,26 +94,40 @@ void Simulator::insert_into_wheel(Item&& item) {
   std::uint64_t bit = std::uint64_t{1} << (idx & 63);
   w.occ |= bit;
   w.dirty |= bit;
+  occ_summary_ |= std::uint64_t{1} << (idx >> 6);
 }
 
 std::size_t Simulator::next_occupied_offset() const {
   std::size_t start = cur_blk_ & kBucketMask;
   std::size_t w0 = start >> 6;
   unsigned bit0 = static_cast<unsigned>(start & 63);
-  for (std::size_t i = 0; i <= kOccWords; ++i) {
-    std::size_t wi = (w0 + i) & (kOccWords - 1);
-    std::uint64_t word = occ_[wi].occ;
-    if (i == 0) {
-      word &= ~std::uint64_t{0} << bit0;
-    } else if (i == kOccWords) {
-      // Wrapped all the way back to the start word: only bits before the
-      // start position remain unexamined.
-      word &= bit0 ? ~(~std::uint64_t{0} << bit0) : 0;
-    }
-    if (word) {
-      std::size_t bit = wi * 64 + static_cast<std::size_t>(std::countr_zero(word));
-      return (bit + kBuckets - start) & kBucketMask;
-    }
+  // Bits at or after the cursor within its own occupancy word.
+  std::uint64_t word = occ_[w0].occ & (~std::uint64_t{0} << bit0);
+  if (word) {
+    std::size_t bit =
+        w0 * 64 + static_cast<std::size_t>(std::countr_zero(word));
+    return bit - start;
+  }
+  // Later words, in circular order: rotate the summary so its bit 0 is
+  // word w0+1, bit 62 is word w0+63, and bit 63 is w0 itself — the
+  // wrap-around case, excluded here and handled below restricted to the
+  // pre-cursor bits already masked out of the first check.
+  std::uint64_t later =
+      std::rotr(occ_summary_, static_cast<int>((w0 + 1) & 63)) &
+      ~(std::uint64_t{1} << 63);
+  if (later) {
+    std::size_t wi =
+        (w0 + 1 + static_cast<std::size_t>(std::countr_zero(later))) &
+        (kOccWords - 1);
+    std::size_t bit =
+        wi * 64 + static_cast<std::size_t>(std::countr_zero(occ_[wi].occ));
+    return (bit + kBuckets - start) & kBucketMask;
+  }
+  word = occ_[w0].occ & (bit0 ? ~(~std::uint64_t{0} << bit0) : 0);
+  if (word) {
+    std::size_t bit =
+        w0 * 64 + static_cast<std::size_t>(std::countr_zero(word));
+    return (bit + kBuckets - start) & kBucketMask;
   }
   return kBuckets;
 }
@@ -129,19 +143,39 @@ void Simulator::promote_overflow() {
                                         : block_of(overflow_.front().when);
 }
 
+template <bool Bounded>
 inline bool Simulator::advance_to_next_batch(Tick limit) {
+  // When Bounded, the cursor must never be committed past block_of(limit):
+  // a blocked run_until would otherwise park it at the pending event's
+  // block, and events scheduled afterwards at earlier times (legal:
+  // run_until only advances now() to the limit) would land in buckets
+  // behind the cursor, where the bitmap scan reads them as ~a wheel lap in
+  // the future — executing them after later events with now() moving
+  // backwards. Every event in block B has when >= B << kBlockShift, so any
+  // block past limit_blk holds only events past the limit and the advance
+  // can refuse it without looking inside. run() (Bounded=false) drains the
+  // queue completely, so its instantiation folds all of this away.
+  const std::uint64_t limit_blk = Bounded ? block_of(limit) : 0;
   for (;;) {
-    // Fast path: the cursor's own bucket still has events. Nothing pending
+    // Fast path: the cursor's own block still has events (in its bucket or
+    // already in drain_ — the occupancy bit covers both). Nothing pending
     // can be earlier — every other wheel item is in a later block (the
-    // cursor never passes a non-empty bucket) and the overflow tier is
+    // cursor never passes a non-drained block) and the overflow tier is
     // beyond the horizon — so skip the bitmap scan and promotion check.
-    if (!wheel_[cur_blk_ & kBucketMask].empty()) {
-      std::uint64_t blk = cur_blk_;
-      return extract_batch(blk, limit);
+    std::size_t cidx = cur_blk_ & kBucketMask;
+    if (occ_[cidx >> 6].occ & (std::uint64_t{1} << (cidx & 63))) {
+      return prepare_batch<Bounded>(cur_blk_, limit);
     }
     std::size_t off = next_occupied_offset();
     if (off == kBuckets) {
-      if (overflow_.empty()) return false;
+      if constexpr (Bounded) {
+        // Everything pending is in the overflow tier, past the limit's
+        // block? Refuse without moving the cursor (overflow_min_blk_ is ~0
+        // when the tier is empty too, so this also covers "no events").
+        if (overflow_min_blk_ > limit_blk) return false;
+      } else {
+        if (overflow_.empty()) return false;
+      }
       // Wheel empty: jump the cursor to the earliest overflow block, then
       // promote everything that now fits the horizon and rescan.
       cur_blk_ = overflow_min_blk_;
@@ -150,59 +184,98 @@ inline bool Simulator::advance_to_next_batch(Tick limit) {
     }
     std::uint64_t blk = cur_blk_ + off;
     if (blk != cur_blk_) {
+      if constexpr (Bounded) {
+        // blk > limit_blk implies blk != cur_blk_ (the cursor never sits
+        // past limit_blk), so the refusal lives on the advance branch only.
+        if (blk > limit_blk) [[unlikely]] return false;
+      }
       cur_blk_ = blk;
       // Every cursor advance must re-promote so no overflow item is ever
       // behind the horizon. Promoted items land at blocks >= the old
       // cur_blk_ + kBuckets > blk, so the chosen bucket stays authoritative.
       if (overflow_min_blk_ < cur_blk_ + kBuckets) promote_overflow();
     }
-    return extract_batch(blk, limit);
+    return prepare_batch<Bounded>(blk, limit);
   }
 }
 
-inline bool Simulator::extract_batch(std::uint64_t blk, Tick limit) {
+template <bool Bounded>
+inline bool Simulator::prepare_batch(std::uint64_t blk, Tick limit) {
   std::size_t idx = blk & kBucketMask;
   auto& bucket = wheel_[idx];
   OccWord& w = occ_[idx >> 6];
   std::uint64_t bit = std::uint64_t{1} << (idx & 63);
-  if (w.dirty & bit) {
-    if (bucket.size() > 1) {
-      std::sort(bucket.begin(), bucket.end(), OverflowAfter{});
+  if (!bucket.empty()) {
+    bool need_sort = (w.dirty & bit) != 0;
+    if (drain_.empty()) {
+      // O(1) hand-off: the whole bucket becomes the drain; the bucket
+      // inherits drain_'s old (empty) storage, so vector capacities
+      // circulate through the wheel and steady state never allocates.
+      drain_.swap(bucket);
+    } else {
+      // Rare: new events landed in this block after it was swapped out
+      // (scheduled by an event of an earlier batch at a later time inside
+      // the same 128 ps block). Merge and re-sort the remainder.
+      for (Item& it : bucket) drain_.push_back(std::move(it));
+      bucket.clear();
+      need_sort = true;
     }
-    w.dirty &= ~bit;
+    if (need_sort) {
+      if (drain_.size() == 2) {
+        // By far the most common multi-event case at realistic densities;
+        // a compare-and-swap skips std::sort's dispatch overhead.
+        if (OverflowAfter{}(drain_[1], drain_[0])) {
+          std::swap(drain_[0], drain_[1]);
+        }
+      } else if (drain_.size() > 2) {
+        std::sort(drain_.begin(), drain_.end(), OverflowAfter{});
+      }
+      w.dirty &= ~bit;
+    }
   }
-  // Sorted descending by (when, seq): the tail is the earliest pending
-  // event, and the run of equal-when items before it is in descending
-  // sequence order, so popping off the back yields the batch already in
-  // FIFO order. Extract ALL events at min_when before executing any —
-  // this is what preserves FIFO-at-equal-time across bucket appends and
-  // overflow promotions. (Anything user code schedules at the batch's
-  // own timestamp goes to the now-FIFO, never this bucket, so the sorted
-  // invariant survives execution.)
-  Tick min_when = bucket.back().when;
-  if (min_when > limit) return false;
+  // drain_ is sorted descending by (when, seq): the tail is the earliest
+  // pending event, and the run of equal-when items before it is in
+  // descending sequence order, so run_loop executing off the back yields
+  // the batch in FIFO order.
+  Tick min_when = drain_.back().when;
+  if constexpr (Bounded) {
+    if (min_when > limit) return false;
+  }
   now_ = min_when;
-  std::size_t n = bucket.size();
-  if (n == 1 || bucket[n - 2].when != min_when) {
-    // The common case: a batch of one. Leave it in single_ so run_loop can
-    // invoke it in place without another relocation.
-    single_ = std::move(bucket.back().fn);
-    have_single_ = true;
-    bucket.pop_back();
-    if (n == 1) w.occ &= ~bit;
-    return true;
-  }
-  batch_.clear();
-  do {
-    batch_.push_back(std::move(bucket.back().fn));
-    bucket.pop_back();
-  } while (!bucket.empty() && bucket.back().when == min_when);
-  if (bucket.empty()) {
-    w.occ &= ~bit;
-  }
   return true;
 }
 
+void Simulator::consume_after_throw(Tick t) {
+  // The throwing event counts as consumed (seed semantics). The rest of
+  // its batch must stay runnable and must precede anything the batch
+  // appended to the FIFO, so it moves there — drain_'s tail run is in
+  // reverse execution order, hence the backwards walk.
+  drain_.pop_back();
+  std::size_t i = drain_.size();
+  while (i > 0 && drain_[i - 1].when == t) --i;
+  if (i < drain_.size()) {
+    std::vector<EventFn> rest;
+    rest.reserve(drain_.size() - i);
+    for (std::size_t j = drain_.size(); j > i; --j) {
+      rest.push_back(std::move(drain_[j - 1].fn));
+    }
+    fifo_.insert(fifo_.begin() + static_cast<std::ptrdiff_t>(fifo_head_),
+                 std::make_move_iterator(rest.begin()),
+                 std::make_move_iterator(rest.end()));
+    drain_.erase(drain_.begin() + static_cast<std::ptrdiff_t>(i),
+                 drain_.end());
+  }
+  if (drain_.empty()) {
+    std::size_t idx = cur_blk_ & kBucketMask;
+    if (wheel_[idx].empty()) {
+      OccWord& w = occ_[idx >> 6];
+      w.occ &= ~(std::uint64_t{1} << (idx & 63));
+      if (w.occ == 0) occ_summary_ &= ~(std::uint64_t{1} << (idx >> 6));
+    }
+  }
+}
+
+template <bool Bounded>
 std::uint64_t Simulator::run_loop(Tick limit) {
   std::uint64_t executed = 0;
   for (;;) {
@@ -223,46 +296,46 @@ std::uint64_t Simulator::run_loop(Tick limit) {
       fifo_.clear();
       fifo_head_ = 0;
     }
-    if (!advance_to_next_batch(limit)) break;
-    // Execute the batch in place. Anything it schedules at now() lands in
-    // the FIFO and runs on the next pass — correct, because every batch
-    // item's sequence number predates anything scheduled while it runs.
-    // Invoking through the stored record (no move-out) is safe: user code
-    // never touches single_/batch_, and the records are reset on the next
-    // extraction. If an event throws it counts as consumed (seed
-    // semantics; the local executed count is lost on propagation).
-    if (have_single_) {
-      have_single_ = false;
-      single_();
-      ++executed;
-      continue;
-    }
-    std::size_t bi = 0;
-    try {
-      for (; bi < batch_.size(); ++bi) {
-        batch_[bi]();
+    if (!advance_to_next_batch<Bounded>(limit)) break;
+    // Execute the batch — every drain_ tail item at now() — in place, no
+    // relocation into scratch: user code can never reach drain_ (schedules
+    // at now() land in the FIFO, later ones in the bucket vector), so the
+    // storage is stable across the call. Anything the batch schedules at
+    // now() runs on the next pass — correct, because every batch item's
+    // sequence number predates anything scheduled while it runs. If an
+    // event throws it counts as consumed (seed semantics; the local
+    // executed count is lost on propagation).
+    const Tick t = now_;
+    for (;;) {
+      try {
+        drain_.back().fn();
+      } catch (...) {
+        consume_after_throw(t);
+        throw;
       }
-      executed += batch_.size();
-    } catch (...) {
-      // The rest of the batch must stay runnable and must precede anything
-      // the batch appended to the FIFO.
-      fifo_.insert(fifo_.begin() + static_cast<std::ptrdiff_t>(fifo_head_),
-                   std::make_move_iterator(batch_.begin() +
-                                           static_cast<std::ptrdiff_t>(bi) + 1),
-                   std::make_move_iterator(batch_.end()));
-      batch_.clear();
-      throw;
+      drain_.pop_back();
+      ++executed;
+      if (drain_.empty() || drain_.back().when != t) break;
     }
-    batch_.clear();
+    if (drain_.empty()) {
+      std::size_t idx = cur_blk_ & kBucketMask;
+      // The batch may have scheduled into its own block; only clear the
+      // occupancy bit when the bucket really is empty too.
+      if (wheel_[idx].empty()) {
+        OccWord& w = occ_[idx >> 6];
+        w.occ &= ~(std::uint64_t{1} << (idx & 63));
+        if (w.occ == 0) occ_summary_ &= ~(std::uint64_t{1} << (idx >> 6));
+      }
+    }
   }
   executed_events_ += executed;
   return executed;
 }
 
-std::uint64_t Simulator::run() { return run_loop(kTickMax); }
+std::uint64_t Simulator::run() { return run_loop<false>(kTickMax); }
 
 std::uint64_t Simulator::run_until(Tick until) {
-  std::uint64_t executed = run_loop(until);
+  std::uint64_t executed = run_loop<true>(until);
   if (now_ < until) now_ = until;
   std::uint64_t blk = block_of(until);
   if (blk > cur_blk_) {

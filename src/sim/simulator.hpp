@@ -80,6 +80,7 @@ class Simulator {
       std::uint64_t bit = std::uint64_t{1} << (idx & 63);
       w.occ |= bit;
       w.dirty |= bit;
+      occ_summary_ |= std::uint64_t{1} << (idx >> 6);
     } else {
       schedule_overflow(when, EventFn(std::forward<F>(fn)));
     }
@@ -162,20 +163,36 @@ class Simulator {
   }
 
   /// Shared core of run()/run_until(): executes events with when <= limit.
+  /// Templated on whether the limit is finite: run() — the hot full-drain
+  /// loop — instantiates Bounded=false and compiles with zero limit checks,
+  /// while run_until's instantiation carries the guards that keep the wheel
+  /// cursor from being parked past block_of(limit) (see
+  /// advance_to_next_batch).
+  template <bool Bounded>
   std::uint64_t run_loop(Tick limit);
-  /// Extracts the earliest pending batch (all events at the minimum pending
-  /// timestamp <= limit, in sequence order) into single_/batch_ and
-  /// advances now() to that timestamp. Returns false if no such batch
-  /// exists. Inlined into run_loop: one call per batch is pure overhead.
+  /// Advances the cursor to the earliest occupied block (promoting overflow
+  /// as needed) and stages its events via prepare_batch, leaving the next
+  /// batch on drain_'s tail and now() at its timestamp. Returns false — with
+  /// the cursor never committed past block_of(limit) — when the earliest
+  /// pending event exceeds `limit`, or when nothing is pending. Inlined into
+  /// run_loop: one call per batch is pure overhead.
+  template <bool Bounded>
   __attribute__((always_inline)) bool advance_to_next_batch(Tick limit);
   /// Out-of-line slow path of schedule_at: push onto the far-future heap.
   void schedule_overflow(Tick when, EventFn fn);
-  /// Pops the equal-timestamp run off the tail of bucket `blk` (sorting it
-  /// first if inserts dirtied it) into single_/batch_ and sets now().
-  /// Returns false without extracting if the bucket's earliest event is
-  /// past `limit`. Inlined into the advance path: it runs once per batch.
-  __attribute__((always_inline)) bool extract_batch(std::uint64_t blk,
+  /// Moves bucket `blk`'s events into drain_ (an O(1) vector swap when
+  /// drain_ is empty), sorts them if inserts dirtied the bucket, and sets
+  /// now() to the earliest pending timestamp — leaving that batch on
+  /// drain_'s tail for run_loop to execute in place. Returns false without
+  /// committing anything if the earliest event is past `limit`. Inlined
+  /// into the advance path: it runs once per batch.
+  template <bool Bounded>
+  __attribute__((always_inline)) bool prepare_batch(std::uint64_t blk,
                                                     Tick limit);
+  /// Cold path of run_loop when an executing event throws: consumes the
+  /// thrown event and re-queues the rest of its batch into the FIFO so it
+  /// stays runnable, ordered before anything the batch appended there.
+  void consume_after_throw(Tick t);
   /// Offset in [0, kBuckets) of the first occupied bucket at or after
   /// cur_blk_, or kBuckets if the wheel is empty.
   std::size_t next_occupied_offset() const;
@@ -212,6 +229,19 @@ class Simulator {
     std::uint64_t dirty = 0;
   };
   std::array<OccWord, kOccWords> occ_{};
+  // Second bitmap level: bit w set iff occ_[w].occ != 0. With kOccWords ==
+  // 64 one word summarizes the whole wheel, so next_occupied_offset is two
+  // countr_zero calls instead of a scan over up to 65 words.
+  static_assert(kOccWords == 64, "occ_summary_ assumes a 64-word wheel");
+  std::uint64_t occ_summary_ = 0;
+  // The cursor bucket's events, sorted descending by (when, seq) — handed
+  // over from the bucket vector by swap, executed straight off the tail.
+  // Private to the engine: user code can never reach it (same-time
+  // schedules go to the FIFO, same-block ones to the bucket vector), so
+  // events are invoked in place with no relocation into scratch. Non-empty
+  // only for the cursor's block; the cursor never advances past a block
+  // whose drain still has content.
+  std::vector<Item> drain_;
   // Far-future tier: min-heap on (when, seq). A heap (not a sorted vector)
   // because promotion interleaves with insertion — peeking the minimum must
   // stay O(1) no matter how many far timeouts pile up between advances.
@@ -220,16 +250,6 @@ class Simulator {
   // Cached so the per-advance "anything to promote?" check is one compare
   // against a hot member instead of a heap peek behind a function call.
   std::uint64_t overflow_min_blk_ = ~std::uint64_t{0};
-  // Scratch for same-timestamp extraction. Batches are nearly always a
-  // single event (distinct picosecond timestamps), so extraction puts that
-  // case in single_ — invoked in place, no relocation — and only a genuine
-  // equal-timestamp run pays the batch_ vector, already in sequence order
-  // (when/seq are dropped at extraction; ordering was resolved by the
-  // bucket sort).
-  EventFn single_;
-  bool have_single_ = false;
-  std::vector<EventFn> batch_;
-
   /// Detached process frames still running; destroyed (suspended) frames are
   /// reclaimed when the process finishes, and any remainder in ~Simulator.
   std::vector<std::shared_ptr<ProcessHandle::State>> live_states_;

@@ -113,6 +113,63 @@ TEST(EventQueue, RunUntilAdvancesClockPastIdleGaps) {
   EXPECT_EQ(sim.now(), kFarApart * 3 + ns(1));
 }
 
+TEST(EventQueue, ScheduleEarlierThanParkedPendingEvent) {
+  // Regression: run_until stopping short of a pending future event must not
+  // park the wheel cursor at that event's block. An event scheduled
+  // afterwards at an earlier time (legal — run_until only advanced now() to
+  // the limit) would land in a bucket behind the cursor, execute a wheel
+  // lap late, and drag now() backwards.
+  Simulator sim;
+  std::vector<std::pair<int, Tick>> order;
+  sim.schedule_at(ns(300), [&] { order.emplace_back(1, sim.now()); });
+  EXPECT_EQ(sim.run_until(ns(1)), 0u);
+  EXPECT_EQ(sim.now(), ns(1));
+  sim.schedule_at(ns(2), [&] { order.emplace_back(2, sim.now()); });
+  EXPECT_EQ(sim.run(), 2u);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], (std::pair<int, Tick>{2, ns(2)}));
+  EXPECT_EQ(order[1], (std::pair<int, Tick>{1, ns(300)}));
+  EXPECT_EQ(sim.now(), ns(300));
+}
+
+TEST(EventQueue, ScheduleEarlierThanParkedOverflowEvent) {
+  // Same regression through the overflow tier: the pending event is beyond
+  // the wheel horizon, so a blocked advance would have jumped the cursor to
+  // the overflow block instead of a wheel block.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(kFarApart * 2, [&] { order.push_back(1); });
+  EXPECT_EQ(sim.run_until(ns(1)), 0u);
+  EXPECT_EQ(sim.now(), ns(1));
+  sim.schedule_at(ns(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_EQ(sim.now(), kFarApart * 2);
+}
+
+TEST(EventQueue, RepeatedRunUntilBeforePendingEventKeepsOrder) {
+  // Several run_until stops short of the same pending event, each followed
+  // by a new earlier schedule: order must stay (when, seq) and the clock
+  // must never move backwards.
+  Simulator sim;
+  std::vector<int> order;
+  Tick last_now = 0;
+  auto fire = [&](int id) {
+    EXPECT_GE(sim.now(), last_now);
+    last_now = sim.now();
+    order.push_back(id);
+  };
+  sim.schedule_at(us(400), [&] { fire(99); });  // wheel, far block
+  sim.schedule_at(kFarApart, [&] { fire(100); });  // overflow tier
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(sim.run_until(ns(10) * (i + 1)), static_cast<std::uint64_t>(i != 0));
+    sim.schedule_at(ns(10) * (i + 1) + ns(5), [&, i] { fire(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 99, 100}));
+  EXPECT_EQ(sim.now(), kFarApart);
+}
+
 TEST(EventQueue, RunUntilStopsBetweenEqualTimestampBatches) {
   // Events at the limit run; the batch extraction must not leak events
   // scheduled (at the same instant) by code running at the limit: those are
