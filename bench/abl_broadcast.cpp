@@ -2,34 +2,45 @@
 // collectives motivated triggered semantics). HDN forwards on the host at
 // every hop; GPU-TN forwards from a persistent kernel; the NIC chain
 // forwards in NIC hardware with neither processor in the control path.
+//
+// Sweep runs through the parallel experiment engine (`--jobs N`, default
+// all cores); output is identical at any jobs value.
 #include <cstdio>
+#include <vector>
 
-#include "workloads/broadcast.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweeps.hpp"
 
 using namespace gputn;
-using namespace gputn::workloads;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::vector<int> nodes = {2, 4, 8, 16, 32};
+
+  exp::Runner runner(exp::jobs_from_args(argc, argv));
+  exp::RunSummary sweep =
+      runner.run(exp::broadcast_plan(nodes, /*bytes=*/1 << 20, /*chunks=*/16));
+  for (const exp::RunResult& r : sweep.results) {
+    if (!r.ok) {
+      std::fprintf(stderr, "abl_broadcast: %s failed: %s\n", r.id.c_str(),
+                   r.error.c_str());
+      return 1;
+    }
+  }
+
   std::printf("Extension: 1 MB pipelined ring broadcast (16 chunks)\n\n");
   std::printf("%6s %12s %12s %12s %16s\n", "nodes", "HDN", "GPU-TN",
               "NIC-chain", "chain vs HDN");
-  for (int nodes : {2, 4, 8, 16, 32}) {
+  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+    // Plan order: for each node count, HDN / GPU-TN / NIC-chain.
+    const exp::RunResult* row = &sweep.results[ni * 3];
     double t[3];
-    int i = 0;
     bool ok = true;
-    for (BroadcastDrive d : {BroadcastDrive::kHdn, BroadcastDrive::kGpuTn,
-                             BroadcastDrive::kNicChain}) {
-      BroadcastConfig cfg;
-      cfg.drive = d;
-      cfg.nodes = nodes;
-      cfg.bytes = 1 << 20;
-      cfg.chunks = 16;
-      auto res = run_broadcast(cfg);
-      ok = ok && res.correct;
-      t[i++] = sim::to_us(res.total_time);
+    for (int i = 0; i < 3; ++i) {
+      t[i] = sim::to_us(row[i].result.total_time);
+      ok = ok && row[i].result.correct;
     }
-    std::printf("%6d %10.1fus %10.1fus %10.1fus %15.1f%%   %s\n", nodes, t[0],
-                t[1], t[2], 100.0 * (1.0 - t[2] / t[0]),
+    std::printf("%6d %10.1fus %10.1fus %10.1fus %15.1f%%   %s\n", nodes[ni],
+                t[0], t[1], t[2], 100.0 * (1.0 - t[2] / t[0]),
                 ok ? "" : "[DATA MISMATCH]");
   }
   std::printf(

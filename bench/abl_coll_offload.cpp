@@ -6,44 +6,61 @@
 // arming pre-staged puts), the entire allgather phase runs on the NICs:
 // each arriving chunk immediately launches the next hop, and the GPU only
 // observes its own final arrivals.
+//
+// Sweep runs through the parallel experiment engine (`--jobs N`, default
+// all cores); output is identical at any jobs value.
 #include <cstdio>
+#include <utility>
+#include <vector>
 
-#include "workloads/allreduce.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweeps.hpp"
 
 using namespace gputn;
-using namespace gputn::workloads;
 
-namespace {
+int main(int argc, char** argv) {
+  struct Row {
+    const char* label;
+    int nodes;
+    std::size_t elements;
+  };
+  // Large payloads: wire time dominates; pipelining hides the GPU pacing.
+  // Small payloads: per-hop GPU poll quantization + trigger stores are a
+  // real fraction of each forwarding step.
+  std::vector<Row> rows;
+  for (int n : {8, 16, 32}) rows.push_back({"8 MB", n, 2 * 1024 * 1024});
+  for (int n : {8, 16, 32}) rows.push_back({"64 KB", n, 16 * 1024});
+  for (int n : {8, 16, 32}) rows.push_back({"16 KB", n, 4 * 1024});
 
-void sweep(const char* label, int nodes, std::size_t elements) {
-  AllreduceConfig base;
-  base.strategy = Strategy::kGpuTn;
-  base.nodes = nodes;
-  base.elements = elements;
-  AllreduceConfig off = base;
-  off.nic_offload_allgather = true;
-  auto a = run_allreduce(base);
-  auto b = run_allreduce(off);
-  std::printf("%-14s %6d %12.1fus %12.1fus %9.2f%%   %s\n", label, nodes,
-              sim::to_us(a.total_time), sim::to_us(b.total_time),
-              100.0 * (1.0 - sim::to_us(b.total_time) /
-                                 sim::to_us(a.total_time)),
-              (a.correct && b.correct) ? "ok" : "REDUCTION MISMATCH");
-}
+  std::vector<std::pair<int, std::size_t>> points;
+  for (const Row& r : rows) points.emplace_back(r.nodes, r.elements);
 
-}  // namespace
+  exp::Runner runner(exp::jobs_from_args(argc, argv));
+  exp::RunSummary sweep = runner.run(exp::coll_offload_plan(points));
+  for (const exp::RunResult& r : sweep.results) {
+    if (!r.ok) {
+      std::fprintf(stderr, "abl_coll_offload: %s failed: %s\n", r.id.c_str(),
+                   r.error.c_str());
+      return 1;
+    }
+  }
 
-int main() {
   std::printf("Ablation: GPU-paced vs NIC-offloaded allgather in the GPU-TN\n"
               "ring allreduce\n\n");
   std::printf("%-14s %6s %14s %14s %10s   %s\n", "payload", "nodes",
               "GPU-paced", "NIC-offloaded", "saving", "verified");
-  // Large payloads: wire time dominates; pipelining hides the GPU pacing.
-  for (int nodes : {8, 16, 32}) sweep("8 MB", nodes, 2 * 1024 * 1024);
-  // Small payloads: per-hop GPU poll quantization + trigger stores are a
-  // real fraction of each forwarding step.
-  for (int nodes : {8, 16, 32}) sweep("64 KB", nodes, 16 * 1024);
-  for (int nodes : {8, 16, 32}) sweep("16 KB", nodes, 4 * 1024);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    // Plan order: per row, {GPU-paced, NIC-offloaded}.
+    const exp::RunResult& a = sweep.results[i * 2];
+    const exp::RunResult& b = sweep.results[i * 2 + 1];
+    std::printf("%-14s %6d %12.1fus %12.1fus %9.2f%%   %s\n", rows[i].label,
+                rows[i].nodes, sim::to_us(a.result.total_time),
+                sim::to_us(b.result.total_time),
+                100.0 * (1.0 - sim::to_us(b.result.total_time) /
+                                   sim::to_us(a.result.total_time)),
+                (a.result.correct && b.result.correct) ? "ok"
+                                                       : "REDUCTION MISMATCH");
+  }
   std::printf(
       "\nAt 8 MB the GPU pacing is fully hidden behind the wire; at small\n"
       "payloads the chained allgather shaves the per-hop GPU poll +\n"

@@ -6,34 +6,45 @@
 // completion time, retransmissions, and the injected-drop count. Loss 0 is
 // the exact lossless protocol (the reliability layer stays disabled), so the
 // first row doubles as the zero-overhead baseline.
+//
+// Sweep runs through the parallel experiment engine (`--jobs N`, default
+// all cores); output is identical at any jobs value.
 #include <cstdio>
+#include <vector>
 
-#include "workloads/allreduce.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweeps.hpp"
 
 using namespace gputn;
-using namespace gputn::workloads;
 
-int main() {
+int main(int argc, char** argv) {
   const int nodes = 8;
   const std::size_t elements = 256 * 1024;  // 1 MiB vector
+  const std::vector<double> rates = {0.0, 0.001, 0.005, 0.01, 0.02, 0.05};
+
+  exp::Runner runner(exp::jobs_from_args(argc, argv));
+  exp::RunSummary sweep =
+      runner.run(exp::fault_loss_plan(rates, nodes, elements, /*seed=*/1));
+  for (const exp::RunResult& r : sweep.results) {
+    if (!r.ok) {
+      std::fprintf(stderr, "abl_fault_loss: %s failed: %s\n", r.id.c_str(),
+                   r.error.c_str());
+      return 1;
+    }
+  }
+
   std::printf("GPU-TN allreduce, %d nodes, %zu KiB, loss-rate sweep\n\n",
               nodes, elements * sizeof(float) / 1024);
   std::printf("%8s %12s %10s %8s %8s %8s %10s  %s\n", "loss", "time",
               "vs 0", "drops", "retx", "acks", "timeo_us", "ok");
 
-  double base = 0.0;
-  for (double loss : {0.0, 0.001, 0.005, 0.01, 0.02, 0.05}) {
-    AllreduceConfig cfg;
-    cfg.strategy = Strategy::kGpuTn;
-    cfg.nodes = nodes;
-    cfg.elements = elements;
-    auto sys = cluster::SystemConfig::table2_with_loss(loss, /*seed=*/1);
-    AllreduceResult res = run_allreduce(cfg, sys);
+  double base = sim::to_us(sweep.results[0].result.total_time);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const workloads::ResultBase& res = sweep.results[i].result;
     double us = sim::to_us(res.total_time);
-    if (loss == 0.0) base = us;
     const auto& s = res.net_stats;
     std::printf("%7.2f%% %10.1fus %9.2fx %8llu %8llu %8llu %10.1f  %s\n",
-                100.0 * loss, us, us / base,
+                100.0 * rates[i], us, us / base,
                 static_cast<unsigned long long>(s.counter_value("fault.drops")),
                 static_cast<unsigned long long>(
                     s.counter_value("rel.retransmits")),

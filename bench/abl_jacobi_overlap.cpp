@@ -5,32 +5,46 @@
 // halo-independent interior while the halos fly, then finish the boundary
 // ring. This harness quantifies what the paper's implementation left on
 // the table.
+//
+// Sweep runs through the parallel experiment engine (`--jobs N`, default
+// all cores); output is identical at any jobs value.
 #include <cstdio>
+#include <vector>
 
-#include "workloads/jacobi.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweeps.hpp"
 
 using namespace gputn;
-using namespace gputn::workloads;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::vector<int> grids = {16, 32, 64, 128, 256, 512};
+  const int iterations = 10;
+
+  exp::Runner runner(exp::jobs_from_args(argc, argv));
+  exp::RunSummary sweep =
+      runner.run(exp::jacobi_overlap_plan(grids, iterations));
+  for (const exp::RunResult& r : sweep.results) {
+    if (!r.ok) {
+      std::fprintf(stderr, "abl_jacobi_overlap: %s failed: %s\n", r.id.c_str(),
+                   r.error.c_str());
+      return 1;
+    }
+  }
+
   std::printf("Ablation: GPU-TN Jacobi with/without compute-communication "
               "overlap\n\n");
   std::printf("%6s %16s %16s %10s   %s\n", "N", "no overlap", "overlap",
               "saving", "verified");
-  for (int n : {16, 32, 64, 128, 256, 512}) {
-    JacobiConfig base;
-    base.strategy = Strategy::kGpuTn;
-    base.n = n;
-    base.iterations = 10;
-    JacobiConfig ovl = base;
-    ovl.overlap = true;
-    JacobiResult a = run_jacobi(base);
-    JacobiResult b = run_jacobi(ovl);
-    std::printf("%6d %13.2fus %13.2fus %9.1f%%   %s\n", n,
-                sim::to_us(a.per_iteration()), sim::to_us(b.per_iteration()),
-                100.0 * (1.0 - sim::to_us(b.per_iteration()) /
-                                   sim::to_us(a.per_iteration())),
-                (a.correct && b.correct) ? "ok" : "NUMERICS MISMATCH");
+  for (std::size_t gi = 0; gi < grids.size(); ++gi) {
+    // Plan order: per grid, {no-overlap, overlap}.
+    const exp::RunResult& a = sweep.results[gi * 2];
+    const exp::RunResult& b = sweep.results[gi * 2 + 1];
+    double a_us = sim::to_us(a.result.per_op(iterations));
+    double b_us = sim::to_us(b.result.per_op(iterations));
+    std::printf("%6d %13.2fus %13.2fus %9.1f%%   %s\n", grids[gi], a_us, b_us,
+                100.0 * (1.0 - b_us / a_us),
+                (a.result.correct && b.result.correct) ? "ok"
+                                                       : "NUMERICS MISMATCH");
   }
   std::printf(
       "\nThe win peaks where halo wire time and interior compute are\n"

@@ -3,37 +3,47 @@
 //
 // Paper: GPU-TN up to ~10% over GDS and ~20% over HDN on medium grids; the
 // CPU is competitive only on the smallest grids.
+//
+// The (grid x strategy) sweep runs through the parallel experiment engine;
+// pass `--jobs N` to bound the worker count (default: all cores). Output is
+// identical at any jobs value.
 #include <cstdio>
+#include <vector>
 
-#include "workloads/jacobi.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweeps.hpp"
 
 using namespace gputn;
-using namespace gputn::workloads;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::vector<int> grids = {16, 32, 64, 128, 256, 512, 1024};
+  const int iterations = 10;
+
+  exp::Runner runner(exp::jobs_from_args(argc, argv));
+  exp::RunSummary sweep = runner.run(exp::fig09_plan(grids, iterations));
+  for (const exp::RunResult& r : sweep.results) {
+    if (!r.ok) {
+      std::fprintf(stderr, "fig09: %s failed: %s\n", r.id.c_str(),
+                   r.error.c_str());
+      return 1;
+    }
+  }
+
   std::printf("Figure 9: 2-D Jacobi, speedup vs HDN (per iteration)\n\n");
   std::printf("%6s %12s %10s %10s %10s %10s   %s\n", "N", "HDN us/iter",
               "CPU", "HDN", "GDS", "GPU-TN", "verified");
-
-  for (int n : {16, 32, 64, 128, 256, 512, 1024}) {
-    JacobiResult res[4];
-    bool all_ok = true;
-    for (int i = 0; i < 4; ++i) {
-      JacobiConfig cfg;
-      cfg.strategy = kAllStrategies[i];
-      cfg.n = n;
-      cfg.iterations = 10;
-      cfg.num_wgs = 16;
-      res[i] = run_jacobi(cfg);
-      all_ok = all_ok && res[i].correct;
-    }
-    double hdn = sim::to_us(res[1].per_iteration());
-    std::printf("%6d %12.2f %10.3f %10.3f %10.3f %10.3f   %s\n", n, hdn,
-                hdn / sim::to_us(res[0].per_iteration()),
-                1.0,
-                hdn / sim::to_us(res[2].per_iteration()),
-                hdn / sim::to_us(res[3].per_iteration()),
-                all_ok ? "ok" : "NUMERICS MISMATCH");
+  for (std::size_t gi = 0; gi < grids.size(); ++gi) {
+    // Plan order: for each grid, CPU/HDN/GDS/GPU-TN (see exp::fig09_plan).
+    const exp::RunResult* row = &sweep.results[gi * 4];
+    auto per_iter = [&](int s) {
+      return sim::to_us(row[s].result.per_op(iterations));
+    };
+    bool all_ok = row[0].result.correct && row[1].result.correct &&
+                  row[2].result.correct && row[3].result.correct;
+    double hdn = per_iter(1);
+    std::printf("%6d %12.2f %10.3f %10.3f %10.3f %10.3f   %s\n", grids[gi],
+                hdn, hdn / per_iter(0), 1.0, hdn / per_iter(2),
+                hdn / per_iter(3), all_ok ? "ok" : "NUMERICS MISMATCH");
   }
   std::printf(
       "\nPaper shape: CPU > 1 only at the far left; GPU-TN ~1.2x and GDS\n"

@@ -4,34 +4,44 @@
 // Paper shape: ~1.4x for all GPU strategies at small node counts; HDN
 // decays below 1.0 by ~24 nodes; GDS decays to ~1.0; GPU-TN keeps its
 // speedup through 32 nodes.
+//
+// The (nodes x strategy) sweep runs through the parallel experiment engine;
+// pass `--jobs N` to bound the worker count (default: all cores). Output is
+// identical at any jobs value.
 #include <cstdio>
+#include <vector>
 
-#include "workloads/allreduce.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweeps.hpp"
 
 using namespace gputn;
-using namespace gputn::workloads;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::vector<int> nodes = {2, 5, 8, 11, 14, 17, 20, 23, 26, 29, 32};
+
+  exp::Runner runner(exp::jobs_from_args(argc, argv));
+  exp::RunSummary sweep =
+      runner.run(exp::fig10_plan(nodes, /*elements=*/2 * 1024 * 1024));
+  for (const exp::RunResult& r : sweep.results) {
+    if (!r.ok) {
+      std::fprintf(stderr, "fig10: %s failed: %s\n", r.id.c_str(),
+                   r.error.c_str());
+      return 1;
+    }
+  }
+
   std::printf("Figure 10: 8MB fp32 ring Allreduce, speedup vs CPU\n\n");
   std::printf("%6s %12s %8s %8s %8s %8s   %s\n", "nodes", "CPU us", "CPU",
               "HDN", "GDS", "GPU-TN", "verified");
-
-  for (int nodes : {2, 5, 8, 11, 14, 17, 20, 23, 26, 29, 32}) {
-    AllreduceResult res[4];
-    bool all_ok = true;
-    for (int i = 0; i < 4; ++i) {
-      AllreduceConfig cfg;
-      cfg.strategy = kAllStrategies[i];
-      cfg.nodes = nodes;
-      cfg.elements = 2 * 1024 * 1024;  // 8 MB fp32
-      res[i] = run_allreduce(cfg);
-      all_ok = all_ok && res[i].correct;
-    }
-    double cpu = sim::to_us(res[0].total_time);
-    std::printf("%6d %12.0f %8.3f %8.3f %8.3f %8.3f   %s\n", nodes, cpu, 1.0,
-                cpu / sim::to_us(res[1].total_time),
-                cpu / sim::to_us(res[2].total_time),
-                cpu / sim::to_us(res[3].total_time),
+  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+    // Plan order: for each node count, CPU/HDN/GDS/GPU-TN.
+    const exp::RunResult* row = &sweep.results[ni * 4];
+    auto us = [&](int s) { return sim::to_us(row[s].result.total_time); };
+    bool all_ok = row[0].result.correct && row[1].result.correct &&
+                  row[2].result.correct && row[3].result.correct;
+    double cpu = us(0);
+    std::printf("%6d %12.0f %8.3f %8.3f %8.3f %8.3f   %s\n", nodes[ni], cpu,
+                1.0, cpu / us(1), cpu / us(2), cpu / us(3),
                 all_ok ? "ok" : "REDUCTION MISMATCH");
   }
   return 0;

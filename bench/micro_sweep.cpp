@@ -1,0 +1,142 @@
+// Sweep-throughput benchmark: the parallel experiment engine against
+// serial execution on the paper's evaluation mini-sweep.
+//
+// The workload is exp::mini_sweep_plan() — small-parameter fig09 + fig10 +
+// ablation points, the same plan the exp tests assert bit-identity on. Each
+// point is an independent deterministic simulation, so jobs=N is pure
+// replica throughput: the interesting numbers are the speedup over jobs=1
+// at hardware concurrency and the determinism check that the merged JSON is
+// byte-identical either way.
+//
+// Repetitions are interleaved (1, N, 1, N, ...) so host frequency/thermal
+// phases hit both modes alike, and the reported speedup is the MEDIAN of
+// per-pair ratios — adjacent-in-time pairs move together under a phase
+// shift instead of skewing the result (same protocol as micro_events).
+//
+// Also profiles per-run construction cost: building a 4-node Table 2
+// Cluster cold (first-touch page faults on every DRAM backing) vs warm
+// (backings recycled through mem::DramArena) — the setup the engine pays
+// at every run point, and why short microbench points aren't dominated by
+// it.
+//
+// Emits BENCH_sweep.json. Usage: micro_sweep [out.json] [--jobs N]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweeps.hpp"
+#include "mem/arena.hpp"
+#include "sim/simulator.hpp"
+
+using namespace gputn;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Seconds to run the whole plan at the given job count; the merged JSON is
+/// appended to `jsons` for the cross-jobs determinism check.
+double timed_run(const exp::Plan& plan, int jobs,
+                 std::vector<std::string>& jsons) {
+  exp::Runner runner(jobs);
+  double t0 = now_s();
+  exp::RunSummary summary = runner.run(plan);
+  double secs = now_s() - t0;
+  if (summary.failures != 0 || !summary.all_correct()) {
+    std::fprintf(stderr, "micro_sweep: sweep failed at jobs=%d\n", jobs);
+    std::exit(1);
+  }
+  jsons.push_back(exp::results_json(summary));
+  return secs;
+}
+
+/// Microseconds to construct + destroy one 4-node Table 2 cluster.
+double setup_us_once() {
+  double t0 = now_s();
+  {
+    sim::Simulator sim;
+    cluster::Cluster cl(sim, cluster::SystemConfig::table2(), 4);
+  }
+  return (now_s() - t0) * 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_sweep.json";
+  if (argc > 1 && std::strncmp(argv[1], "--", 2) != 0) out_path = argv[1];
+  const int hw = exp::Runner::hardware_jobs();
+  const int jobs = exp::jobs_from_args(argc, argv, /*dflt=*/hw);
+  const int reps = 3;
+
+  exp::Plan plan = exp::mini_sweep_plan();
+  std::printf("micro_sweep: %zu run points, jobs=1 vs jobs=%d (hw=%d), "
+              "%d interleaved reps\n",
+              plan.size(), jobs, hw, reps);
+
+  // Per-run construction cost: cold = fresh OS pages (arena emptied), warm
+  // = recycled backings. One throwaway run first so code/data are hot.
+  setup_us_once();
+  mem::DramArena::clear();
+  double setup_cold_us = setup_us_once();
+  double setup_warm_us = 0.0;
+  const int setup_reps = 10;
+  for (int i = 0; i < setup_reps; ++i) setup_warm_us += setup_us_once();
+  setup_warm_us /= setup_reps;
+  std::printf("  cluster setup: %.0f us cold, %.0f us warm (arena reuse)\n",
+              setup_cold_us, setup_warm_us);
+
+  std::vector<std::string> jsons;
+  double best1 = 1e300;
+  double bestN = 1e300;
+  std::vector<double> ratios;
+  for (int i = 0; i < reps; ++i) {
+    double t1 = timed_run(plan, 1, jsons);
+    double tN = timed_run(plan, jobs, jsons);
+    best1 = std::min(best1, t1);
+    bestN = std::min(bestN, tN);
+    ratios.push_back(t1 / tN);
+  }
+  bool deterministic = true;
+  for (const std::string& j : jsons) deterministic &= (j == jsons.front());
+  std::sort(ratios.begin(), ratios.end());
+  double speedup = ratios[ratios.size() / 2];
+
+  double pts = static_cast<double>(plan.size());
+  std::printf("  jobs=1:  %6.2f s (%.1f points/s)\n", best1, pts / best1);
+  std::printf("  jobs=%-2d: %6.2f s (%.1f points/s)\n", jobs, bestN,
+              pts / bestN);
+  std::printf("  speedup: %.2fx, merged output %s\n", speedup,
+              deterministic ? "bit-identical" : "NONDETERMINISTIC");
+  if (!deterministic) return 1;
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"points\": " << plan.size() << ",\n"
+      << "  \"jobs\": " << jobs << ",\n"
+      << "  \"hw_concurrency\": " << hw << ",\n"
+      << "  \"jobs1_s\": " << best1 << ",\n"
+      << "  \"jobsN_s\": " << bestN << ",\n"
+      << "  \"speedup\": " << speedup << ",\n"
+      << "  \"deterministic\": " << (deterministic ? "true" : "false")
+      << ",\n"
+      << "  \"setup_cold_us\": " << setup_cold_us << ",\n"
+      << "  \"setup_warm_us\": " << setup_warm_us << "\n"
+      << "}\n";
+  if (!out.good()) {
+    std::fprintf(stderr, "micro_sweep: cannot write %s\n", out_path);
+    return 1;
+  }
+  std::printf("  wrote %s\n", out_path);
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "exp/plan.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gputn::exp {
+
+std::size_t Plan::add_workload(const workloads::Registry& reg, std::string id,
+                               const std::string& workload,
+                               workloads::RunOptions opts,
+                               workloads::WorkloadParams params,
+                               cluster::SystemConfig sys) {
+  const workloads::WorkloadEntry* entry = reg.find(workload);
+  if (entry == nullptr) {
+    throw std::invalid_argument("exp::Plan: unknown workload '" + workload +
+                                "'");
+  }
+  opts.quiet = true;
+  // The entry outlives the plan (registries are built once and never
+  // shrink); capture the runner by reference to the registry's storage.
+  const workloads::WorkloadRunner& run = entry->run;
+  return add(std::move(id),
+             [&run, opts, params = std::move(params),
+              sys = std::move(sys)]() -> workloads::ResultBase {
+               return run(opts, params, sys);
+             });
+}
+
+}  // namespace gputn::exp

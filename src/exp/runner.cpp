@@ -1,0 +1,109 @@
+#include "exp/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "sim/json.hpp"
+#include "sim/stats.hpp"
+#include "workloads/strategy.hpp"
+
+namespace gputn::exp {
+
+namespace {
+
+/// Execute one plan point into its result slot. The single per-point code
+/// path shared by the inline (jobs=1) and pooled modes — determinism across
+/// job counts falls out of there being nothing else to diverge.
+void run_point(const RunPoint& point, RunResult& slot) {
+  slot.id = point.id;
+  auto t0 = std::chrono::steady_clock::now();
+  try {
+    slot.result = point.run();
+    slot.ok = true;
+  } catch (const std::exception& e) {
+    slot.error = e.what();
+  } catch (...) {
+    slot.error = "unknown exception";
+  }
+  slot.wall_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+}
+
+}  // namespace
+
+Runner::Runner(int jobs) : jobs_(jobs > 0 ? jobs : hardware_jobs()) {}
+
+int Runner::hardware_jobs() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+RunSummary Runner::run(const Plan& plan) const {
+  RunSummary summary;
+  summary.results.resize(plan.size());
+  auto t0 = std::chrono::steady_clock::now();
+
+  const std::size_t n = plan.size();
+  const int workers = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(jobs_), n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      run_point(plan[i], summary.results[i]);
+    }
+  } else {
+    // Self-scheduling pool: one shared cursor, each worker claims the next
+    // unstarted index. No locks around results — slot i is written by
+    // exactly one thread and read only after join().
+    std::atomic<std::size_t> next{0};
+    auto worker = [&plan, &summary, &next, n] {
+      for (;;) {
+        std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        run_point(plan[i], summary.results[i]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (const RunResult& r : summary.results) {
+    if (!r.ok) ++summary.failures;
+  }
+  summary.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  return summary;
+}
+
+std::string results_json(const RunSummary& summary) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < summary.results.size(); ++i) {
+    const RunResult& r = summary.results[i];
+    out += "  {\"id\": \"" + sim::json_escape(r.id) + "\", \"ok\": ";
+    out += r.ok ? "true" : "false";
+    if (r.ok) {
+      const workloads::ResultBase& res = r.result;
+      const char* mode =
+          !res.mode.empty() ? res.mode.c_str() : strategy_name(res.strategy);
+      out += ", \"label\": \"" + sim::json_escape(res.label) + "\"";
+      out += ", \"mode\": \"" + sim::json_escape(mode) + "\"";
+      out += ", \"nodes\": " + std::to_string(res.nodes);
+      out += ", \"total_time_ps\": " + std::to_string(res.total_time);
+      out += ", \"correct\": ";
+      out += res.correct ? "true" : "false";
+      out += ",\n   \"stats\": " + sim::stats_json(res.net_stats);
+    } else {
+      out += ", \"error\": \"" + sim::json_escape(r.error) + "\"";
+    }
+    out += i + 1 < summary.results.size() ? "},\n" : "}\n";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace gputn::exp

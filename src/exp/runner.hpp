@@ -1,0 +1,84 @@
+// Parallel experiment runner: shards a Plan's independent run points
+// across a thread pool and merges the results deterministically.
+//
+// Model: each worker thread claims the next unstarted point off a shared
+// atomic cursor (self-scheduling — the work-stealing-friendly shape for
+// points whose costs vary by orders of magnitude: a 1024-grid Jacobi next
+// to a 2-node microbench), constructs the point's entire simulated world
+// inside the closure, runs it to completion, and writes the result into a
+// pre-sized slot keyed by *plan index*. Nothing is ever appended in
+// completion order.
+//
+// Determinism contract: because every point owns its Simulator/Cluster
+// outright (the ownership rule documented on sim::Simulator) and each
+// simulation is single-threaded and deterministic, the merged RunSummary —
+// and therefore results_json() — is bit-identical for --jobs 1 and
+// --jobs N. Host wall-clock figures are the one nondeterministic output;
+// they are kept out of results_json by construction.
+//
+// Failure isolation: a point that throws is recorded as failed (ok=false,
+// error=what()) in its own slot; every other point still runs. The sweep
+// never aborts half-merged.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exp/plan.hpp"
+#include "workloads/options.hpp"
+
+namespace gputn::exp {
+
+/// Outcome of one run point, in its plan slot.
+struct RunResult {
+  std::string id;
+  bool ok = false;     ///< the closure returned (no exception escaped)
+  std::string error;   ///< exception message when !ok
+  workloads::ResultBase result;  ///< valid only when ok
+  /// Host milliseconds spent executing this point. Reporting only —
+  /// deliberately excluded from results_json (nondeterministic).
+  double wall_ms = 0.0;
+};
+
+/// All results of a sweep, in plan order.
+struct RunSummary {
+  std::vector<RunResult> results;
+  std::size_t failures = 0;  ///< points whose closure threw
+  double wall_ms = 0.0;      ///< host time for the whole sweep
+  /// Every point ran and verified.
+  bool all_correct() const {
+    for (const RunResult& r : results) {
+      if (!r.ok || !r.result.correct) return false;
+    }
+    return true;
+  }
+};
+
+class Runner {
+ public:
+  /// `jobs` worker threads; 0 means hardware_concurrency. Clamped to >= 1.
+  explicit Runner(int jobs = 0);
+
+  int jobs() const { return jobs_; }
+
+  /// Execute every point of `plan` and return results in plan order.
+  /// jobs() == 1 runs inline on the calling thread (no pool) through the
+  /// exact same per-point code path, so the two modes cannot diverge.
+  RunSummary run(const Plan& plan) const;
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int hardware_jobs();
+
+ private:
+  int jobs_;
+};
+
+/// Deterministic JSON array of a sweep's results, in plan order: one object
+/// per point with "id", "ok", and — for points that ran — "label", "mode",
+/// "nodes", "total_time_ps", "correct", and the full "stats" registry
+/// (sim::stats_json). Failed points carry "error" instead. Bit-identical
+/// across --jobs values: no wall-clock or thread-id data is included.
+std::string results_json(const RunSummary& summary);
+
+}  // namespace gputn::exp

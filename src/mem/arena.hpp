@@ -1,0 +1,93 @@
+// Thread-local recycling of DRAM backing stores.
+//
+// Every run point of a parameter sweep constructs a fresh Cluster, and each
+// node's mem::Memory zero-fills a multi-megabyte backing vector (64 MiB per
+// node under Table 2). Allocating that from the OS every run means a fresh
+// mmap plus a page fault per 4 KiB on first touch — for short microbench
+// points the faults cost more than the simulation. The arena keeps retired
+// backings on a per-thread freelist so the next run reuses already-faulted
+// pages: acquire() re-zeroes the recycled buffer (one warm memset, several
+// times cheaper than faulting), which makes a recycled backing
+// indistinguishable from a fresh one — runs stay bit-identical whether or
+// not their memory was recycled, and whichever worker thread ran first.
+//
+// Thread-local (not shared + locked) on purpose: no synchronization on the
+// per-run construction path, and a backing never migrates between NUMA-ish
+// worker arenas. A Memory may still be *destroyed* on a different thread
+// than it was built on (the runner joins workers before results are read);
+// the backing simply retires into the destroying thread's freelist.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gputn::mem {
+
+class DramArena {
+ public:
+  /// A zero-filled buffer of exactly `bytes` bytes, reusing the largest
+  /// adequate retired backing when one is pooled.
+  static std::vector<std::byte> acquire(std::uint64_t bytes) {
+    Freelist& fl = freelist();
+    // Best fit = last adequate entry: the list is kept sorted by capacity,
+    // so scan from the top for the smallest capacity >= bytes.
+    for (std::size_t i = 0; i < fl.entries.size(); ++i) {
+      if (fl.entries[i].capacity() >= bytes) {
+        std::vector<std::byte> v = std::move(fl.entries[i]);
+        fl.entries.erase(fl.entries.begin() + static_cast<std::ptrdiff_t>(i));
+        fl.pooled_bytes -= v.capacity();
+        // clear + resize value-initializes every element: one memset over
+        // warm pages, and the buffer is exactly as if freshly constructed.
+        v.clear();
+        v.resize(bytes);
+        return v;
+      }
+    }
+    return std::vector<std::byte>(bytes);
+  }
+
+  /// Retire a backing store for reuse. Tiny buffers are not worth pooling;
+  /// beyond the byte cap the buffer is simply freed so one huge sweep
+  /// cannot pin memory for the rest of the process.
+  static void release(std::vector<std::byte>&& v) {
+    Freelist& fl = freelist();
+    if (v.capacity() < kMinPooledBytes ||
+        fl.pooled_bytes + v.capacity() > kMaxPooledBytes) {
+      return;  // let the vector destructor free it
+    }
+    fl.pooled_bytes += v.capacity();
+    auto pos = std::lower_bound(
+        fl.entries.begin(), fl.entries.end(), v.capacity(),
+        [](const std::vector<std::byte>& e, std::size_t cap) {
+          return e.capacity() < cap;
+        });
+    fl.entries.insert(pos, std::move(v));
+  }
+
+  /// Bytes currently pooled on this thread (tests / diagnostics).
+  static std::uint64_t pooled_bytes() { return freelist().pooled_bytes; }
+
+  /// Drop this thread's freelist (tests measuring cold-start cost).
+  static void clear() {
+    Freelist& fl = freelist();
+    fl.entries.clear();
+    fl.pooled_bytes = 0;
+  }
+
+ private:
+  static constexpr std::size_t kMinPooledBytes = 64 * 1024;
+  static constexpr std::uint64_t kMaxPooledBytes = 1ull << 30;  // 1 GiB
+
+  struct Freelist {
+    std::vector<std::vector<std::byte>> entries;  // sorted by capacity
+    std::uint64_t pooled_bytes = 0;
+  };
+  static Freelist& freelist() {
+    thread_local Freelist fl;
+    return fl;
+  }
+};
+
+}  // namespace gputn::mem

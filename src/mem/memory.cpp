@@ -2,9 +2,14 @@
 
 #include <new>
 
+#include "mem/arena.hpp"
+
 namespace gputn::mem {
 
-Memory::Memory(std::uint64_t dram_bytes) : dram_(dram_bytes) {}
+Memory::Memory(std::uint64_t dram_bytes)
+    : dram_(DramArena::acquire(dram_bytes)) {}
+
+Memory::~Memory() { DramArena::release(std::move(dram_)); }
 
 Addr Memory::alloc(std::uint64_t bytes, std::uint64_t align) {
   if (align == 0 || (align & (align - 1)) != 0) {

@@ -37,7 +37,11 @@ class MmioHandler {
 
 class Memory {
  public:
+  /// The backing store comes from (and retires into) the thread-local
+  /// DramArena, so sweeping many short-lived clusters re-faults no pages;
+  /// the bytes are zero-filled either way (see arena.hpp).
   explicit Memory(std::uint64_t dram_bytes);
+  ~Memory();
   Memory(const Memory&) = delete;
   Memory& operator=(const Memory&) = delete;
 

@@ -4,6 +4,7 @@
 // a bench or test can raise the level to trace protocol interleavings.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -21,18 +22,24 @@ enum class LogLevel : int {
   kOff = 5,
 };
 
-/// Process-wide log configuration. The simulator is single-threaded, so no
-/// synchronization is needed.
+/// Process-wide log configuration — the one piece of global state the
+/// simulation path reads. Each Simulator instance is single-threaded, but
+/// exp::Runner executes many of them on concurrent worker threads, so the
+/// level is an atomic: set once by the driver before workers start, read
+/// (relaxed — no ordering is implied by a level change) on every log call.
 class LogConfig {
  public:
-  static LogLevel level() { return level_; }
-  static void set_level(LogLevel level) { level_ = level; }
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  static void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
   static bool enabled(LogLevel level) {
-    return static_cast<int>(level) >= static_cast<int>(level_);
+    return static_cast<int>(level) >=
+           static_cast<int>(level_.load(std::memory_order_relaxed));
   }
 
  private:
-  static inline LogLevel level_ = LogLevel::kWarn;
+  static inline std::atomic<LogLevel> level_ = LogLevel::kWarn;
 };
 
 /// Emit one formatted log line: `[   12.345us] component: message`.

@@ -44,6 +44,16 @@ class ProcessHandle {
   std::shared_ptr<State> state_;
 };
 
+/// Ownership rule (parallel experiments): a Simulator and everything built
+/// on it — Cluster, nodes, stats registries, trace recorders, buffer pools,
+/// RNGs, workload state — form one isolated world confined to a single
+/// thread at a time. The simulation path holds no mutable globals (the two
+/// process-wide objects, workloads::Registry and sim::LogConfig, are
+/// written only before workers start — the registry is append-only at
+/// startup and the log level is an atomic), so exp::Runner may execute any
+/// number of Simulators concurrently, one per run point, and their results
+/// are bit-identical to serial execution. Anything a run mutates must be
+/// owned by (or reachable only from) its own Simulator/Cluster.
 class Simulator {
  public:
   Simulator();

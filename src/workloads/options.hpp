@@ -33,8 +33,13 @@ struct RunOptions {
   /// When non-null, the run records a Chrome trace (Cluster::enable_tracing
   /// lanes + message flow events) into this recorder. Tracing is pure
   /// observation: simulated time and all counters are bit-identical to an
-  /// untraced run.
+  /// untraced run. Must be a recorder private to this run when runs execute
+  /// in parallel (exp::Runner) — TraceRecorder is not synchronized.
   sim::TraceRecorder* trace = nullptr;
+  /// Suppress the per-run stdout report. exp::Plan forces this on for
+  /// points executed by the parallel runner, whose workers must not
+  /// interleave prints; the driver reports from the merged results instead.
+  bool quiet = false;
 };
 
 /// Result fields shared by every workload, plus the single report/export

@@ -118,14 +118,16 @@ ResultBase run_microbench_entry(const RunOptions& opts,
     throw std::invalid_argument("microbench always pairs 2 nodes");
   }
   MicrobenchResult res = run_microbench(cfg, sys);
-  std::printf("%s one-cache-line microbenchmark:\n",
-              strategy_name(cfg.strategy));
-  for (const auto& ph : res.initiator_phases) {
-    std::printf("  %-10s %.3f us\n", ph.label.c_str(), ph.us());
+  if (!opts.quiet) {
+    std::printf("%s one-cache-line microbenchmark:\n",
+                strategy_name(cfg.strategy));
+    for (const auto& ph : res.initiator_phases) {
+      std::printf("  %-10s %.3f us\n", ph.label.c_str(), ph.us());
+    }
+    std::printf("  initiator complete  %.3f us\n",
+                sim::to_us(res.initiator_completion));
+    res.report();
   }
-  std::printf("  initiator complete  %.3f us\n",
-              sim::to_us(res.initiator_completion));
-  res.report();
   return res;
 }
 
@@ -139,8 +141,10 @@ ResultBase run_jacobi_entry(const RunOptions& opts, const WorkloadParams& p,
   cfg.iterations = static_cast<int>(p.get_int("iterations", 10, 1, 1 << 20));
   cfg.overlap = p.flag("overlap");
   JacobiResult res = run_jacobi(cfg, sys);
-  res.report();
-  std::printf("  per-iteration %.2f us\n", sim::to_us(res.per_iteration()));
+  if (!opts.quiet) {
+    res.report();
+    std::printf("  per-iteration %.2f us\n", sim::to_us(res.per_iteration()));
+  }
   return res;
 }
 
@@ -154,9 +158,11 @@ ResultBase run_allreduce_entry(const RunOptions& opts, const WorkloadParams& p,
       p.get_double("mb", 8.0, 1.0 / 1024, 4096.0) * 1024 * 1024 / 4);
   cfg.nic_offload_allgather = p.flag("offload");
   AllreduceResult res = run_allreduce(cfg, sys);
-  res.report();
-  if (res.max_error > 0.0) {
-    std::printf("  max |error| %.3g\n", res.max_error);
+  if (!opts.quiet) {
+    res.report();
+    if (res.max_error > 0.0) {
+      std::printf("  max |error| %.3g\n", res.max_error);
+    }
   }
   return res;
 }
@@ -172,7 +178,7 @@ ResultBase run_broadcast_entry(const RunOptions& opts, const WorkloadParams& p,
       p.get_double("mb", 1.0, 1.0 / 1024, 4096.0) * 1024 * 1024);
   cfg.chunks = static_cast<int>(p.get_int("chunks", 16, 1, 1 << 16));
   BroadcastResult res = run_broadcast(cfg, sys);
-  res.report();
+  if (!opts.quiet) res.report();
   return res;
 }
 

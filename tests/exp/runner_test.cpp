@@ -1,0 +1,187 @@
+// Parallel experiment engine: determinism across job counts, failure
+// isolation, and concurrent construction/teardown of per-run state.
+#include <atomic>
+#include <cstddef>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/plan.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweeps.hpp"
+#include "net/buffer_pool.hpp"
+#include "workloads/jacobi.hpp"
+#include "workloads/registry.hpp"
+
+namespace gputn {
+namespace {
+
+/// A fig09 + fig10 mini-sweep: every strategy over two Jacobi grids and two
+/// allreduce ring sizes — 16 full simulations, each constructing its own
+/// Simulator/Cluster.
+exp::Plan mini_fig_plan() {
+  exp::Plan plan;
+  plan.append(exp::fig09_plan({16, 32}, /*iterations=*/3));
+  plan.append(exp::fig10_plan({2, 4}, /*elements=*/16 * 1024));
+  return plan;
+}
+
+TEST(Runner, JobsCountBitIdentical) {
+  exp::Plan plan = mini_fig_plan();
+  exp::RunSummary s1 = exp::Runner(1).run(plan);
+  exp::RunSummary s2 = exp::Runner(2).run(plan);
+  exp::RunSummary s4 = exp::Runner(4).run(plan);
+
+  ASSERT_EQ(s1.results.size(), plan.size());
+  EXPECT_EQ(s1.failures, 0u);
+  EXPECT_TRUE(s1.all_correct());
+
+  // The determinism contract, asserted bitwise: the merged JSON — every
+  // simulated time, counter, and histogram bucket of every point — is
+  // byte-identical no matter how many workers executed the sweep.
+  std::string j1 = exp::results_json(s1);
+  EXPECT_EQ(j1, exp::results_json(s2));
+  EXPECT_EQ(j1, exp::results_json(s4));
+
+  // Results land in plan slots, never completion order.
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(s4.results[i].id, plan[i].id);
+    EXPECT_EQ(s4.results[i].result.total_time, s1.results[i].result.total_time);
+  }
+}
+
+TEST(Runner, MiniSweepIdsUniqueAndOrdered) {
+  exp::Plan plan = exp::mini_sweep_plan();
+  std::set<std::string> ids;
+  for (const exp::RunPoint& p : plan.points()) {
+    EXPECT_TRUE(ids.insert(p.id).second) << "duplicate run-point id " << p.id;
+  }
+  EXPECT_GE(plan.size(), 24u);
+}
+
+TEST(Runner, RegistryPointMatchesDirectCall) {
+  workloads::Registry reg;
+  workloads::register_builtin_workloads(reg);
+
+  workloads::WorkloadParams params;
+  params.set("n", "16");
+  params.set("iterations", "3");
+  workloads::RunOptions opts;
+  opts.strategy = workloads::Strategy::kGpuTn;
+
+  exp::Plan plan;
+  plan.add_workload(reg, "jacobi/registry", "jacobi", opts, params,
+                    cluster::SystemConfig::table2());
+  exp::RunSummary s = exp::Runner(1).run(plan);
+  ASSERT_EQ(s.failures, 0u);
+
+  workloads::JacobiConfig cfg;
+  cfg.strategy = workloads::Strategy::kGpuTn;
+  cfg.n = 16;
+  cfg.iterations = 3;
+  workloads::JacobiResult direct = workloads::run_jacobi(cfg);
+
+  EXPECT_EQ(s.results[0].result.total_time, direct.total_time);
+  EXPECT_EQ(s.results[0].result.stats_json(), direct.stats_json());
+}
+
+TEST(Plan, UnknownWorkloadThrowsAtBuildTime) {
+  workloads::Registry reg;
+  exp::Plan plan;
+  EXPECT_THROW(plan.add_workload(reg, "id", "no-such-workload", {}, {},
+                                 cluster::SystemConfig::table2()),
+               std::invalid_argument);
+}
+
+TEST(Runner, ExceptionInOnePointIsolated) {
+  auto good = [](sim::Tick t) {
+    return [t] {
+      workloads::ResultBase r;
+      r.label = "stub";
+      r.total_time = t;
+      r.correct = true;
+      return r;
+    };
+  };
+  exp::Plan plan;
+  plan.add("good/0", good(10));
+  plan.add("boom", []() -> workloads::ResultBase {
+    throw std::runtime_error("injected failure");
+  });
+  plan.add("good/1", good(20));
+  plan.add("good/2", good(30));
+
+  exp::RunSummary s = exp::Runner(4).run(plan);
+  ASSERT_EQ(s.results.size(), 4u);
+  EXPECT_EQ(s.failures, 1u);
+  EXPECT_FALSE(s.all_correct());
+
+  // The failing point is reported in its own slot...
+  EXPECT_FALSE(s.results[1].ok);
+  EXPECT_EQ(s.results[1].error, "injected failure");
+  // ...and every other point still ran to completion.
+  EXPECT_TRUE(s.results[0].ok);
+  EXPECT_TRUE(s.results[2].ok);
+  EXPECT_TRUE(s.results[3].ok);
+  EXPECT_EQ(s.results[3].result.total_time, 30);
+
+  std::string json = exp::results_json(s);
+  EXPECT_NE(json.find("\"error\": \"injected failure\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\": \"good/2\""), std::string::npos);
+}
+
+TEST(Runner, JobsDefaultsAndClamps) {
+  EXPECT_GE(exp::Runner::hardware_jobs(), 1);
+  EXPECT_EQ(exp::Runner(0).jobs(), exp::Runner::hardware_jobs());
+  EXPECT_EQ(exp::Runner(3).jobs(), 3);
+  // More workers than points is fine (pool is sized to the plan).
+  exp::Plan plan;
+  plan.add("only", [] {
+    workloads::ResultBase r;
+    r.correct = true;
+    return r;
+  });
+  exp::RunSummary s = exp::Runner(16).run(plan);
+  EXPECT_EQ(s.failures, 0u);
+}
+
+// net::BufferPool is per-fabric (per-run) state with no internal locking;
+// the ownership rule says concurrent *instances* must be safe even though
+// one instance never crosses threads. Exercise construct / traffic /
+// teardown on several threads at once — meaningful under TSan/ASan, which
+// the CI exp job runs.
+TEST(BufferPool, ConcurrentConstructTeardown) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 100;
+  std::atomic<std::uint64_t> total_hits{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&total_hits] {
+      for (int round = 0; round < kRounds; ++round) {
+        net::BufferPool pool;
+        std::vector<std::vector<std::byte>> held;
+        for (int i = 0; i < 8; ++i) {
+          std::vector<std::byte> v = pool.acquire();
+          v.resize(1024);
+          held.push_back(std::move(v));
+        }
+        for (auto& v : held) pool.release(std::move(v));
+        EXPECT_EQ(pool.pooled(), 8u);
+        std::vector<std::byte> reused = pool.acquire();
+        EXPECT_EQ(pool.hits(), 1u);
+        EXPECT_GE(reused.capacity(), 1024u);
+        total_hits.fetch_add(pool.hits(), std::memory_order_relaxed);
+      }  // pool destroyed with buffers still pooled: teardown path
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(total_hits.load(), static_cast<std::uint64_t>(kThreads) * kRounds);
+}
+
+}  // namespace
+}  // namespace gputn

@@ -1,6 +1,7 @@
 // gputn — command-line driver for the simulation experiments.
 //
 //   gputn config     [--loss P]
+//   gputn sweep      [--jobs N] [--stats-json FILE]
 //   gputn <workload> [workload options]
 //
 // Workloads come from workloads::Registry (microbench, jacobi, allreduce,
@@ -13,9 +14,19 @@
 //              enables NIC reliable delivery and prints fault/retry stats
 //   --seed S   fault-injection RNG seed (default 1)
 //
+// Parallel experiments (the exp engine):
+//   --replicas R   run the workload R times with seeds S, S+1, ... as an
+//                  exp::Plan; results are reported in plan order and
+//                  --stats-json becomes the merged per-replica JSON
+//   --jobs N       worker threads for multi-point runs (replicas / sweep);
+//                  0 or absent = hardware concurrency. Output is
+//                  bit-identical for every jobs value.
+// `gputn sweep` runs the built-in fig09+fig10+ablation mini-sweep through
+// the same engine (the plan bench/micro_sweep measures).
+//
 // Every workload also accepts observability flags:
 //   --trace FILE       write a Chrome-trace (Perfetto) JSON timeline with
-//                      per-message flow arrows
+//                      per-message flow arrows (single runs only)
 //   --stats-json FILE  write counters + latency histograms as JSON
 //   --log-level L      trace|debug|info|warn|error|off (default warn)
 //
@@ -28,6 +39,9 @@
 #include <map>
 #include <string>
 
+#include "exp/plan.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweeps.hpp"
 #include "sim/log.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
@@ -41,6 +55,10 @@ namespace {
 [[noreturn]] void usage() {
   std::fprintf(stderr, "usage: gputn <command> [opts]\n\n  config");
   std::fprintf(stderr, "%-12s print the simulated system parameters\n", "");
+  std::fprintf(stderr,
+               "  %-18s run the fig09+fig10+ablation mini-sweep in "
+               "parallel\n  %-18s   --jobs <n> --stats-json <file>\n",
+               "sweep", "");
   for (const auto& e : Registry::instance().entries()) {
     std::fprintf(stderr, "  %-18s %s\n", e.name.c_str(),
                  e.description.c_str());
@@ -50,6 +68,7 @@ namespace {
       stderr,
       "\n  fault injection (jacobi/allreduce/broadcast): --loss <rate> "
       "--seed <s>\n"
+      "  replication (any workload): --replicas <r> --jobs <n>\n"
       "  observability (any workload): --trace <file> --stats-json <file> "
       "--log-level trace|debug|info|warn|error|off\n");
   std::exit(2);
@@ -152,7 +171,63 @@ class Observability {
 /// of the command line becomes the workload's WorkloadParams.
 bool is_driver_key(const std::string& k) {
   return k == "nodes" || k == "trace" || k == "stats-json" ||
-         k == "log-level" || k == "loss" || k == "seed";
+         k == "log-level" || k == "loss" || k == "seed" || k == "jobs" ||
+         k == "replicas";
+}
+
+/// Validated value of a numeric driver flag (shared Args -> long plumbing).
+long driver_int(const Args& args, const std::string& key, long dflt, long min,
+                long max) {
+  if (!args.has(key)) return dflt;
+  WorkloadParams p;
+  p.set(key, args.get(key, ""));
+  return p.get_int(key, dflt, min, max);
+}
+
+/// Write a merged sweep JSON when --stats-json was given; 0 or 1 (I/O).
+int write_sweep_json(const Args& args, const gputn::exp::RunSummary& summary) {
+  std::string path = args.get("stats-json", "");
+  if (path.empty()) return 0;
+  std::ofstream out(path);
+  out << gputn::exp::results_json(summary) << "\n";
+  if (!out.good()) {
+    std::fprintf(stderr, "gputn: cannot write stats to '%s'\n", path.c_str());
+    return 1;
+  }
+  std::printf("  stats: %s\n", path.c_str());
+  return 0;
+}
+
+/// Report a completed multi-point run in plan order; returns the exit code.
+int report_sweep(const gputn::exp::RunSummary& summary, int jobs) {
+  for (const auto& r : summary.results) {
+    if (r.ok) {
+      std::printf("[%-28s] ", r.id.c_str());
+      r.result.report();
+    } else {
+      std::printf("[%-28s] FAILED: %s\n", r.id.c_str(), r.error.c_str());
+    }
+  }
+  std::printf("%zu points, %d jobs, %.2f s host time, %zu failed\n",
+              summary.results.size(), jobs, summary.wall_ms / 1000.0,
+              summary.failures);
+  return summary.all_correct() ? 0 : 1;
+}
+
+/// `gputn <workload> --replicas R`: the run-point list for seeds S..S+R-1.
+gputn::exp::Plan replica_plan(const WorkloadEntry& entry, RunOptions opts,
+                              const WorkloadParams& params, double loss,
+                              long seed, long replicas) {
+  gputn::exp::Plan plan;
+  for (long r = 0; r < replicas; ++r) {
+    long s = seed + r;
+    plan.add_workload(Registry::instance(),
+                      entry.name + "/seed" + std::to_string(s), entry.name,
+                      opts, params,
+                      cluster::SystemConfig::table2_with_loss(
+                          loss, static_cast<std::uint64_t>(s)));
+  }
+  return plan;
 }
 
 int run_workload(const WorkloadEntry& entry, const Args& args) {
@@ -161,27 +236,54 @@ int run_workload(const WorkloadEntry& entry, const Args& args) {
     if (!is_driver_key(k)) params.set(k, v);
   }
 
-  Observability obs(args);
   RunOptions opts;  // nodes stays 0 (= workload default) without --nodes
-  opts.trace = obs.trace();
-  if (args.has("nodes")) {
-    WorkloadParams n;
-    n.set("nodes", args.get("nodes", ""));
-    opts.nodes = static_cast<int>(n.get_int("nodes", 0, 2, 1 << 16));
-  }
+  opts.nodes = static_cast<int>(driver_int(args, "nodes", 0, 2, 1 << 16));
 
   // Table 2, plus --loss/--seed fault injection when requested. Validated
   // through WorkloadParams so `--loss lots` is a usage error, not 0.0.
   WorkloadParams fault;
   if (args.has("loss")) fault.set("loss", args.get("loss", ""));
-  if (args.has("seed")) fault.set("seed", args.get("seed", ""));
+  double loss = fault.get_double("loss", 0.0, 0.0, 1.0);
+  long seed = driver_int(args, "seed", 1, 0, LONG_MAX - (1 << 20));
+
+  long replicas = driver_int(args, "replicas", 1, 1, 1 << 20);
+  int jobs = static_cast<int>(driver_int(args, "jobs", 0, 0, 4096));
+  if (replicas > 1) {
+    // Seed-replicated run through the parallel engine. Each replica is an
+    // isolated simulation; the merged report/JSON is in plan (seed) order
+    // and bit-identical for any --jobs value.
+    if (args.has("trace")) {
+      std::fprintf(stderr,
+                   "gputn: --trace is single-run only (replicas share no "
+                   "recorder); drop --replicas or --trace\n");
+      return 2;
+    }
+    gputn::exp::Runner runner(jobs);
+    gputn::exp::RunSummary summary =
+        runner.run(replica_plan(entry, opts, params, loss, seed, replicas));
+    int rc = report_sweep(summary, runner.jobs());
+    int io_rc = write_sweep_json(args, summary);
+    return rc != 0 ? rc : io_rc;
+  }
+
+  Observability obs(args);
+  opts.trace = obs.trace();
   cluster::SystemConfig sys = cluster::SystemConfig::table2_with_loss(
-      fault.get_double("loss", 0.0, 0.0, 1.0),
-      static_cast<std::uint64_t>(fault.get_int("seed", 1, 0, LONG_MAX)));
+      loss, static_cast<std::uint64_t>(seed));
 
   ResultBase res = entry.run(opts, params, sys);
   int obs_rc = obs.finish(res);
   return res.correct ? obs_rc : 1;
+}
+
+/// `gputn sweep`: the built-in mini-sweep on the parallel engine.
+int run_sweep(const Args& args) {
+  int jobs = static_cast<int>(driver_int(args, "jobs", 0, 0, 4096));
+  gputn::exp::Runner runner(jobs);
+  gputn::exp::RunSummary summary = runner.run(gputn::exp::mini_sweep_plan());
+  int rc = report_sweep(summary, runner.jobs());
+  int io_rc = write_sweep_json(args, summary);
+  return rc != 0 ? rc : io_rc;
 }
 
 }  // namespace
@@ -205,6 +307,9 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(fault.get_int("seed", 1, 0, LONG_MAX)));
       std::printf("%s", sys.describe().c_str());
       return 0;
+    }
+    if (cmd == "sweep") {
+      return run_sweep(args);
     }
     if (const WorkloadEntry* entry = Registry::instance().find(cmd)) {
       return run_workload(*entry, args);
