@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/timeseries.hpp"
+
 namespace gputn::cluster {
 
 Node::Node(sim::Simulator& sim, net::Fabric& fabric,
@@ -30,9 +32,21 @@ Cluster::Cluster(sim::Simulator& sim, SystemConfig config, int node_count)
   }
 }
 
-void Cluster::export_net_stats(sim::StatRegistry& out) const {
+void Cluster::export_net_stats(sim::StatRegistry& out, sim::Tick window) const {
   fabric_.export_stats(out);
   if (fault_) fault_->export_stats(out);
+  sim::Tick now = sim_->now();
+  out.counter("util.window_ps") +=
+      static_cast<std::uint64_t>(window >= 0 ? window : now);
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    std::string p = "util.node" + std::to_string(i) + ".";
+    Node& n = *nodes_[i];
+    n.cpu().util().export_into(out, p + "cpu", now);
+    n.gpu().cu_util().export_into(out, p + "gpu.cu", now);
+    n.nic().cmd_util().export_into(out, p + "nic.cmd", now);
+    n.nic().tx_dma_util().export_into(out, p + "dma.tx", now);
+    n.nic().rx_dma_util().export_into(out, p + "dma.rx", now);
+  }
   for (const auto& node : nodes_) {
     const sim::StatRegistry& s = node->nic().stats();
     for (const auto& [name, value] : s.counters()) {
@@ -51,6 +65,31 @@ void Cluster::export_net_stats(sim::StatRegistry& out) const {
       out.histogram(name).merge(h);
     }
   }
+}
+
+void Cluster::attach_timeseries(obs::TimeSeries& ts) {
+  for (int i = 0; i < size(); ++i) {
+    std::string id = std::to_string(i);
+    net::Link& up = fabric_.uplink(i);
+    net::Link& down = fabric_.downlink(i);
+    ts.add_counter("link.up" + id + ".bytes",
+                   [&up] { return up.bytes_transmitted(); });
+    ts.add_counter("link.down" + id + ".bytes",
+                   [&down] { return down.bytes_transmitted(); });
+    Node& n = node(i);
+    nic::Nic& nic = n.nic();
+    ts.add_gauge("node" + id + ".nic.cmdq",
+                 [&nic] { return static_cast<std::uint64_t>(
+                     nic.cmd_queue_depth()); });
+    ts.add_gauge("node" + id + ".nic.unacked",
+                 [&nic] { return static_cast<std::uint64_t>(
+                     nic.reliability().unacked()); });
+    gpu::Gpu& gpu = n.gpu();
+    ts.add_gauge("node" + id + ".gpu.wgs",
+                 [&gpu] { return static_cast<std::uint64_t>(
+                     gpu.cu_util().in_use()); });
+  }
+  ts.start(*sim_);
 }
 
 void Cluster::enable_tracing(sim::TraceRecorder& trace) {

@@ -18,6 +18,10 @@
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
 
+namespace gputn::obs {
+class TimeSeries;
+}  // namespace gputn::obs
+
 namespace gputn::cluster {
 
 class Node {
@@ -70,10 +74,24 @@ class Cluster {
   fault::FaultModel* fault_model() { return fault_.get(); }
 
   /// Merge fabric counters (net.*), injected-fault counters (fault.*),
-  /// every node's reliability counters (rel.*, summed across nodes), and
-  /// the per-stage latency histograms (lat.*, exact bucket-wise merge)
-  /// into `out`. Deterministic: iteration orders are all sorted-map based.
-  void export_net_stats(sim::StatRegistry& out) const;
+  /// every node's reliability counters (rel.*, summed across nodes), the
+  /// per-stage latency histograms (lat.*, exact bucket-wise merge), and
+  /// the utilization ledgers (util.link.<name>.* via the fabric plus
+  /// util.node<i>.{cpu,gpu.cu,nic.cmd,dma.tx,dma.rx}.*) into `out`.
+  /// Deterministic: iteration orders are all sorted-map based.
+  ///
+  /// `window` is published as util.window_ps, the denominator report
+  /// tooling uses for busy fractions. Callers pass the workload's own
+  /// total time rather than defaulting to sim.now(): a trailing sampler
+  /// event advances now() past the last workload event, and the exported
+  /// stats must be bit-identical with and without sampling.
+  void export_net_stats(sim::StatRegistry& out, sim::Tick window = -1) const;
+
+  /// Register this cluster's standard time-series probes on `ts` (per-link
+  /// bytes per interval, per-node NIC command queue depth, unacked
+  /// retransmission-window size, GPU work-group slots in use) and start
+  /// sampling. The cluster must outlive the sampling run.
+  void attach_timeseries(obs::TimeSeries& ts);
 
  private:
   sim::Simulator* sim_;

@@ -39,7 +39,7 @@ sim::Task<> Cpu::staging_copy(std::uint64_t bytes) {
 
 sim::Task<> Cpu::compute_parallel(double flops, std::uint64_t bytes) {
   sim::Tick begin = sim_->now();
-  co_await compute(parallel_time(flops, bytes));
+  co_await occupy(config_.cores, parallel_time(flops, bytes));
   if (trace_ != nullptr) {
     trace_->span(trace_lane_, "compute", "cpu", begin, sim_->now(),
                  "{\"flops\":" + std::to_string(flops) +

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "mem/memory.hpp"
+#include "obs/busy.hpp"
 #include "sim/stats.hpp"
 #include "sim/sync.hpp"
 #include "sim/trace.hpp"
@@ -55,7 +56,7 @@ struct CpuConfig {
 class Cpu {
  public:
   Cpu(sim::Simulator& sim, mem::Memory& memory, CpuConfig config)
-      : sim_(&sim), mem_(&memory), config_(config) {}
+      : sim_(&sim), mem_(&memory), config_(config), util_(config.cores) {}
   Cpu(const Cpu&) = delete;
   Cpu& operator=(const Cpu&) = delete;
 
@@ -64,7 +65,7 @@ class Cpu {
   mem::Memory& memory() { return *mem_; }
 
   /// Busy the host for `t` (single thread).
-  sim::Task<> compute(sim::Tick t) { co_await sim_->delay(t); }
+  sim::Task<> compute(sim::Tick t) { return occupy(1, t); }
 
   /// Single-threaded flop-bound phase.
   sim::Task<> compute_flops_serial(double flops);
@@ -93,6 +94,12 @@ class Cpu {
 
   sim::StatRegistry& stats() { return stats_; }
 
+  /// Core-occupancy ledger over `cores` units. Flag-poll spins count as
+  /// busy (they go through compute()): burning a core to poll is exactly
+  /// the CPU cost the paper's triggered strategies avoid, so it must show
+  /// up in the utilization report.
+  const obs::BusyTracker& util() const { return util_; }
+
   /// Attach a trace recorder; parallel-compute and staging-copy phases are
   /// emitted as spans onto `lane`. Flag-poll spins are deliberately not
   /// traced — one span per poll would drown the timeline.
@@ -102,9 +109,19 @@ class Cpu {
   }
 
  private:
+  /// Hold `units` cores in the ledger while the delay elapses. The model
+  /// itself has no core contention (phases just take time); the ledger is
+  /// what distinguishes a single polling thread from an all-cores phase.
+  sim::Task<> occupy(int units, sim::Tick t) {
+    for (int i = 0; i < units; ++i) util_.acquire(sim_->now());
+    co_await sim_->delay(t);
+    for (int i = 0; i < units; ++i) util_.release(sim_->now());
+  }
+
   sim::Simulator* sim_;
   mem::Memory* mem_;
   CpuConfig config_;
+  obs::BusyTracker util_;
   sim::StatRegistry stats_;
   sim::TraceRecorder* trace_ = nullptr;
   std::string trace_lane_;

@@ -79,6 +79,10 @@ class Runner {
 /// "nodes", "total_time_ps", "correct", and the full "stats" registry
 /// (sim::stats_json). Failed points carry "error" instead. Bit-identical
 /// across --jobs values: no wall-clock or thread-id data is included.
+/// Each point's stats carry the per-resource utilization ledger
+/// (util.window_ps plus util.link.*/util.node<i>.* busy/ops/queue
+/// summaries), so `gputn report <sweep.json>` can rank bottlenecks and
+/// `--baseline` can gate regressions without re-running the sweep.
 std::string results_json(const RunSummary& summary);
 
 }  // namespace gputn::exp

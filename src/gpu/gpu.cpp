@@ -77,6 +77,7 @@ Gpu::Gpu(sim::Simulator& sim, mem::Memory& memory, GpuConfig config)
       launch_model_(std::make_unique<FixedLaunchModel>(config.launch_latency)),
       stream_(sim),
       cus_(sim, config.cu_count * std::max(1, config.max_wgs_per_cu)),
+      cu_util_(config.cu_count * std::max(1, config.max_wgs_per_cu)),
       log_("gpu", sim.now_ptr()) {
   if (config.cu_count <= 0) throw std::invalid_argument("cu_count <= 0");
   sim_->spawn(front_end_loop(), "gpu.front_end");
@@ -165,13 +166,17 @@ sim::Task<> Gpu::execute_kernel(KernelOp op) {
 
 sim::Task<> Gpu::run_work_group(const KernelDesc& desc, int wg_id,
                                 int* remaining, sim::Event* all_done) {
+  cu_util_.enqueue(sim_->now());
   co_await cus_.acquire();
+  cu_util_.dequeue(sim_->now());
+  cu_util_.acquire(sim_->now());
   WorkGroupCtx ctx(*this, wg_id, desc.num_wgs, desc.items_per_wg);
   co_await desc.fn(ctx);
   if (ctx.has_unfenced_writes()) {
     // Kernel end implies a full system-visibility point; writes left
     // unfenced at kernel end are made visible by teardown, not a hazard.
   }
+  cu_util_.release(sim_->now());
   cus_.release();
   if (--*remaining == 0) all_done->trigger();
 }

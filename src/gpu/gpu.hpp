@@ -29,6 +29,7 @@
 #include "gpu/launch_model.hpp"
 #include "mem/memory.hpp"
 #include "nic/nic.hpp"
+#include "obs/busy.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
 #include "sim/sync.hpp"
@@ -185,6 +186,12 @@ class Gpu {
   sim::StatRegistry& stats() { return stats_; }
   std::uint64_t memory_model_hazards() const { return hazards_; }
 
+  /// Work-group slot ledger over cu_count * max_wgs_per_cu units: a slot is
+  /// busy while a resident work-group runs (polling groups included — a
+  /// parked persistent work-group still holds its slot), queued while a
+  /// dispatched group waits for a free slot.
+  const obs::BusyTracker& cu_util() const { return cu_util_; }
+
   /// Attach a trace recorder; kernel launch/exec/teardown spans are
   /// emitted onto `lane`.
   void set_trace(sim::TraceRecorder* trace, std::string lane) {
@@ -221,6 +228,7 @@ class Gpu {
   std::unique_ptr<LaunchModel> launch_model_;
   sim::Channel<StreamOp> stream_;
   sim::Semaphore cus_;
+  obs::BusyTracker cu_util_;
   sim::StatRegistry stats_;
   std::uint64_t hazards_ = 0;
   sim::TraceRecorder* trace_ = nullptr;

@@ -3,9 +3,14 @@
 namespace gputn::mem {
 
 sim::Task<> DmaEngine::consume_time(std::uint64_t n) {
+  util_.enqueue(sim_->now());
   co_await busy_.acquire();
+  util_.dequeue(sim_->now());
+  util_.acquire(sim_->now());
   co_await sim_->delay(startup_ + bandwidth_.serialize(n));
   bytes_moved_ += n;
+  util_.release(sim_->now());
+  util_.add_bytes(n);
   busy_.release();
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "mem/memory.hpp"
+#include "obs/busy.hpp"
 #include "sim/sync.hpp"
 
 namespace gputn::mem {
@@ -39,12 +40,17 @@ class DmaEngine {
 
   std::uint64_t bytes_moved() const { return bytes_moved_; }
 
+  /// Engine-occupancy ledger: busy for startup + serialization of each
+  /// transfer, queued while waiting on the engine semaphore.
+  const obs::BusyTracker& util() const { return util_; }
+
  private:
   sim::Simulator* sim_;
   Memory* mem_;
   sim::Bandwidth bandwidth_;
   sim::Tick startup_;
   sim::Semaphore busy_;
+  obs::BusyTracker util_;
   std::uint64_t bytes_moved_ = 0;
 };
 

@@ -75,6 +75,7 @@ void Fabric::export_stats(sim::StatRegistry& reg) const {
     if (l.packets_corrupted() > 0) {
       reg.counter(p + "corruptions") += l.packets_corrupted();
     }
+    l.util().export_into(reg, "util.link." + l.name(), sim_->now());
   };
   for (const auto& l : uplinks_) per_link(*l);
   for (const auto& l : downlinks_) per_link(*l);

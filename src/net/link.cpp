@@ -17,12 +17,19 @@ Link::Link(sim::Simulator& sim, std::string name, sim::Bandwidth bandwidth,
   sim_->spawn(pump(), "link:" + name_);
 }
 
-void Link::submit(Packet&& p) { queue_.push(std::move(p)); }
+void Link::submit(Packet&& p) {
+  util_.enqueue(sim_->now());
+  queue_.push(std::move(p));
+}
 
 sim::Task<> Link::pump() {
   for (;;) {
     Packet p = co_await queue_.pop();
+    util_.dequeue(sim_->now());
+    util_.acquire(sim_->now());
     co_await sim_->delay(bandwidth_.serialize(p.wire_bytes));
+    util_.release(sim_->now());
+    util_.add_bytes(p.wire_bytes);
     bytes_ += p.wire_bytes;
     ++packets_;
     // Faults act on the wire: serialization occupancy is already paid by the

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/busy.hpp"
 #include "sim/sync.hpp"
 #include "sim/units.hpp"
 
@@ -67,6 +68,10 @@ class Link {
   std::uint64_t packets_dropped() const { return dropped_; }
   std::uint64_t packets_corrupted() const { return corrupted_; }
 
+  /// Wire-occupancy ledger: busy while a packet serializes, queued while
+  /// packets wait behind it (propagation is pipelined and not occupancy).
+  const obs::BusyTracker& util() const { return util_; }
+
  private:
   sim::Task<> pump();
 
@@ -77,6 +82,7 @@ class Link {
   PacketFn downstream_;
   FaultInjector* fault_ = nullptr;
   sim::Channel<Packet> queue_;
+  obs::BusyTracker util_;
   std::uint64_t bytes_ = 0;
   std::uint64_t packets_ = 0;
   std::uint64_t dropped_ = 0;

@@ -33,6 +33,7 @@ void Nic::ring_doorbell(Command cmd) {
   // fits EventFn's inline storage.
   doorbell_staging_.push_back(std::move(cmd));
   sim_->schedule_in(config_.doorbell_latency, [this] {
+    cmd_util_.enqueue(sim_->now());
     cmd_queue_.push(QueuedCmd{std::move(doorbell_staging_.front()),
                               sim_->now(), -1, false});
     doorbell_staging_.pop_front();
@@ -46,6 +47,7 @@ void Nic::enqueue_internal(Command cmd) {
 void Nic::enqueue_internal(Command cmd, sim::Tick trigger_at,
                            bool trigger_mmio) {
   ++stats_.counter("internal_cmds");
+  cmd_util_.enqueue(sim_->now());
   cmd_queue_.push(
       QueuedCmd{std::move(cmd), sim_->now(), trigger_at, trigger_mmio});
 }
@@ -181,11 +183,14 @@ sim::Task<> Nic::tx_loop() {
   for (;;) {
     QueuedCmd qc = co_await cmd_queue_.pop();
     sim::Tick begin = sim_->now();
+    cmd_util_.dequeue(begin);
+    cmd_util_.acquire(begin);
     co_await sim_->delay(config_.cmd_fetch);
     const char* kind = std::holds_alternative<PutDesc>(qc.cmd)   ? "put"
                        : std::holds_alternative<GetDesc>(qc.cmd) ? "get"
                                                                  : "send";
     co_await execute(std::move(qc));
+    cmd_util_.release(sim_->now());
     if (trace_ != nullptr) {
       trace_->span(trace_lane_, std::string("tx:") + kind, "nic", begin,
                    sim_->now());

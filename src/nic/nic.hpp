@@ -24,6 +24,7 @@
 #include "mem/dma.hpp"
 #include "mem/memory.hpp"
 #include "net/fabric.hpp"
+#include "obs/busy.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
 #include "sim/sync.hpp"
@@ -193,6 +194,16 @@ class Nic : public net::MessageSink {
   /// The reliable-delivery layer between this NIC and the fabric
   /// (pass-through when NicConfig::reliability.enabled is false).
   fault::ReliabilityLayer& reliability() { return reliability_; }
+  const fault::ReliabilityLayer& reliability() const { return reliability_; }
+
+  /// Command-pipeline ledger: busy from command fetch through execution
+  /// (including the TX DMA), queued while commands wait in the FIFO.
+  const obs::BusyTracker& cmd_util() const { return cmd_util_; }
+  /// The TX / RX DMA engines' ledgers.
+  const obs::BusyTracker& tx_dma_util() const { return tx_dma_.util(); }
+  const obs::BusyTracker& rx_dma_util() const { return rx_dma_.util(); }
+  /// Commands currently waiting in the FIFO (time-series gauge).
+  std::size_t cmd_queue_depth() const { return cmd_queue_.size(); }
 
  private:
   enum MsgKind : std::uint32_t {
@@ -269,6 +280,7 @@ class Nic : public net::MessageSink {
   /// the events ring_doorbell schedules (constant latency keeps order).
   std::deque<Command> doorbell_staging_;
   sim::Channel<QueuedCmd> cmd_queue_;
+  obs::BusyTracker cmd_util_;
   sim::Channel<net::Message> rx_queue_;
   mem::DmaEngine tx_dma_;
   mem::DmaEngine rx_dma_;

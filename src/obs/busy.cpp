@@ -1,0 +1,18 @@
+#include "obs/busy.hpp"
+
+namespace gputn::obs {
+
+void BusyTracker::export_into(sim::StatRegistry& reg,
+                              const std::string& prefix, sim::Tick now) const {
+  reg.counter(prefix + ".busy_ps") += busy_ps(now);
+  reg.counter(prefix + ".capacity") += static_cast<std::uint64_t>(capacity_);
+  reg.counter(prefix + ".ops") += ops_;
+  if (bytes_ > 0) reg.counter(prefix + ".bytes") += bytes_;
+  if (qdepth_.count() > 0) {
+    reg.counter(prefix + ".q.max") += static_cast<std::uint64_t>(queue_max_);
+    reg.counter(prefix + ".q.time_ps") += queue_time_ps(now);
+    reg.histogram(prefix + ".qdepth").merge(qdepth_);
+  }
+}
+
+}  // namespace gputn::obs

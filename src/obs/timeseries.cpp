@@ -1,0 +1,89 @@
+#include "obs/timeseries.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "sim/json.hpp"
+
+namespace gputn::obs {
+
+TimeSeries::TimeSeries(sim::Tick interval) : interval_(interval) {
+  if (interval <= 0) {
+    throw std::invalid_argument("timeseries: sample interval must be > 0");
+  }
+}
+
+void TimeSeries::add_gauge(std::string name,
+                           std::function<std::uint64_t()> fn) {
+  probes_.push_back(Probe{std::move(name), false, std::move(fn), 0});
+}
+
+void TimeSeries::add_counter(std::string name,
+                             std::function<std::uint64_t()> fn) {
+  probes_.push_back(Probe{std::move(name), true, std::move(fn), 0});
+}
+
+void TimeSeries::start(sim::Simulator& sim) {
+  if (sim_ != nullptr) throw std::logic_error("timeseries: started twice");
+  sim_ = &sim;
+  sample();
+  schedule_next();
+}
+
+void TimeSeries::sample() {
+  data_.push_back(static_cast<std::uint64_t>(sim_->now()));
+  for (Probe& p : probes_) {
+    std::uint64_t v = p.fn();
+    if (p.delta) {
+      data_.push_back(v - p.last);
+      p.last = v;
+    } else {
+      data_.push_back(v);
+    }
+  }
+}
+
+void TimeSeries::schedule_next() {
+  sim_->schedule_in(interval_, [this] {
+    sample();
+    // Keep sampling only while the simulation is still live: with the
+    // sampler's own event consumed and nothing else pending, no coroutine
+    // can ever be woken again, so this row was the final one.
+    if (sim_->pending_events() > 0) schedule_next();
+  });
+}
+
+void TimeSeries::write_csv(std::ostream& out) const {
+  out << "t_ps";
+  for (const Probe& p : probes_) out << ',' << p.name;
+  out << '\n';
+  std::size_t stride = 1 + probes_.size();
+  for (std::size_t r = 0; r * stride < data_.size(); ++r) {
+    for (std::size_t c = 0; c < stride; ++c) {
+      if (c > 0) out << ',';
+      out << data_[r * stride + c];
+    }
+    out << '\n';
+  }
+}
+
+void TimeSeries::write_json(std::ostream& out) const {
+  out << "{\n  \"interval_ps\": " << interval_ << ",\n  \"columns\": [\"t_ps\"";
+  for (const Probe& p : probes_) {
+    out << ", \"" << sim::json_escape(p.name) << '"';
+  }
+  out << "],\n  \"rows\": [";
+  std::size_t stride = 1 + probes_.size();
+  std::size_t nrows = probes_.empty() ? 0 : data_.size() / stride;
+  for (std::size_t r = 0; r < nrows; ++r) {
+    out << (r == 0 ? "\n    [" : ",\n    [");
+    for (std::size_t c = 0; c < stride; ++c) {
+      if (c > 0) out << ", ";
+      out << data_[r * stride + c];
+    }
+    out << ']';
+  }
+  out << (nrows == 0 ? "]\n}\n" : "\n  ]\n}\n");
+}
+
+}  // namespace gputn::obs

@@ -1,0 +1,85 @@
+// Opt-in time-series sampler: snapshots registered gauges at a fixed
+// simulated-time interval via self-rescheduling observation-only events.
+//
+// Determinism rule: a sampler event only *reads* component state (through
+// the registered probe callbacks) and appends a row to its own buffer — it
+// never mutates simulated state, never wakes a coroutine, and never
+// schedules anything other than its own next tick. Sampler events therefore
+// shift only Simulator::scheduled_events()/executed_events() (which no
+// stats export includes); every workload event keeps its timestamp and its
+// relative order, so results, counters, and final times are bit-identical
+// with and without sampling (enforced by tests/obs/zero_drift_test.cpp).
+//
+// Termination: the sampler reschedules itself only while other events are
+// pending (Simulator::pending_events() > 0). Once it is the only thing
+// left in the queue, nothing can ever become runnable again, so it records
+// its final row and stops — and sim.run() returns as usual. Corollary: at
+// most one TimeSeries may sample a simulator at a time (two would keep each
+// other pending forever).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+namespace gputn::obs {
+
+class TimeSeries {
+ public:
+  /// `interval` is the simulated time between samples (> 0).
+  explicit TimeSeries(sim::Tick interval);
+
+  /// Register an instantaneous gauge (queue depth, units in use, window
+  /// size): each row records fn() at the sample instant.
+  void add_gauge(std::string name, std::function<std::uint64_t()> fn);
+  /// Register a cumulative counter (bytes transmitted, ops): each row
+  /// records the delta since the previous sample, so columns read as
+  /// per-interval rates.
+  void add_counter(std::string name, std::function<std::uint64_t()> fn);
+
+  /// Take the t=now baseline sample and begin periodic sampling on `sim`.
+  /// Probes must stay callable for as long as sampling runs (i.e. the
+  /// components they read must outlive sim.run()); the recorded rows are
+  /// plain numbers and remain valid after the components are gone. Call
+  /// after every add_gauge/add_counter and at most once.
+  void start(sim::Simulator& sim);
+
+  sim::Tick interval() const { return interval_; }
+  std::size_t columns() const { return probes_.size(); }
+  std::size_t rows() const {
+    return probes_.empty() ? 0 : data_.size() / (1 + probes_.size());
+  }
+  /// Row-major access: row r is [t_ps, probe0, probe1, ...].
+  std::uint64_t cell(std::size_t row, std::size_t col) const {
+    return data_[row * (1 + probes_.size()) + col];
+  }
+
+  /// CSV: header "t_ps,<name>,..." then one row per sample. Deterministic:
+  /// column order is registration order, all values are integers.
+  void write_csv(std::ostream& out) const;
+  /// JSON: {"interval_ps": ..., "columns": [...], "rows": [[...], ...]}.
+  void write_json(std::ostream& out) const;
+
+ private:
+  struct Probe {
+    std::string name;
+    bool delta;  // counter probes record per-interval deltas
+    std::function<std::uint64_t()> fn;
+    std::uint64_t last = 0;
+  };
+
+  void sample();
+  void schedule_next();
+
+  sim::Simulator* sim_ = nullptr;
+  sim::Tick interval_;
+  std::vector<Probe> probes_;
+  std::vector<std::uint64_t> data_;  // rows x (1 + probes): t_ps, values...
+};
+
+}  // namespace gputn::obs

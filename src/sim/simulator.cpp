@@ -289,6 +289,7 @@ std::uint64_t Simulator::run_loop(Tick limit) {
       }
       EventFn fn = std::move(fifo_[fifo_head_]);
       ++fifo_head_;
+      --pending_;
       fn();
       ++executed;
     }
@@ -307,6 +308,7 @@ std::uint64_t Simulator::run_loop(Tick limit) {
     // executed count is lost on propagation).
     const Tick t = now_;
     for (;;) {
+      --pending_;
       try {
         drain_.back().fn();
       } catch (...) {

@@ -74,6 +74,7 @@ class Simulator {
   void schedule_at(Tick when, F&& fn) {
     assert(when >= now_ && "cannot schedule events in the past");
     next_seq_++;
+    pending_++;
     if (when <= now_) {
       // Current-timestamp event (includes the delay-0 wakeup fast path,
       // and — under NDEBUG — clamps any past timestamp to now). Appending
@@ -143,6 +144,14 @@ class Simulator {
 
   std::uint64_t executed_events() const { return executed_events_; }
   std::uint64_t scheduled_events() const { return next_seq_; }
+  /// Events scheduled but not yet started, excluding the one currently
+  /// executing. Maintained live (executed_events() is flushed only when a
+  /// run loop exits), so an event callback observing pending_events() == 0
+  /// knows the queue will be empty — and run() will return — the moment it
+  /// finishes. This is what lets a self-rescheduling observer (the
+  /// obs::TimeSeries sampler) stop instead of keeping the simulation alive
+  /// forever.
+  std::uint64_t pending_events() const { return pending_; }
 
   /// Destroy all still-suspended detached process frames. Owners of
   /// simulated hardware (e.g. Cluster) call this in their destructors so
@@ -218,6 +227,7 @@ class Simulator {
   std::uint64_t cur_blk_ = 0;  // invariant: block_of(now_) <= cur_blk_
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_events_ = 0;
+  std::uint64_t pending_ = 0;  // scheduled, not yet started (live count)
   int live_processes_ = 0;
 
   // Events at when == now(): executed front to back; appends during

@@ -9,6 +9,9 @@ namespace gputn::sim {
 double Histogram::quantile(double q) const {
   std::uint64_t n = acc_.count();
   if (n == 0) return 0.0;
+  // A single sample IS every quantile; interpolating across its pow2
+  // bucket would report e.g. 6 for the lone sample 7.
+  if (n == 1) return acc_.max();
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
   double target = q * static_cast<double>(n);
@@ -22,7 +25,10 @@ double Histogram::quantile(double q) const {
       double hi = b == 0 ? 0.0 : std::ldexp(1.0, b);
       double frac = (target - cum) / c;
       double v = lo + (hi - lo) * frac;
-      return std::min(v, acc_.max());
+      // Clamp to the observed range on both sides: the covering bucket's
+      // edges can lie outside [min, max] (low quantiles in a sparsely
+      // filled bucket used to come out below the smallest sample).
+      return std::min(std::max(v, acc_.min()), acc_.max());
     }
     cum += c;
   }

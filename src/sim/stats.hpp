@@ -28,6 +28,10 @@ class Accumulator {
   std::uint64_t count() const { return count_; }
   double mean() const { return count_ > 0 ? mean_ : 0.0; }
   double sum() const { return sum_; }
+  /// Empty-accumulator sentinel: min()/max() (like mean()) return 0.0 when
+  /// no sample was added — a deliberate NaN-free choice so exporters can
+  /// print any accumulator without guarding. Callers that must distinguish
+  /// "no samples" from "all samples were 0" check count() first.
   double min() const { return count_ > 0 ? min_ : 0.0; }
   double max() const { return count_ > 0 ? max_ : 0.0; }
   double variance() const {
@@ -93,8 +97,10 @@ class Histogram {
   /// Quantile estimate (q in [0, 1]) from the pow2 buckets: walk the
   /// cumulative counts to the target rank and interpolate linearly within
   /// the covering bucket [2^(b-1), 2^b). Bucket 0 holds only the value 0.
-  /// The estimate is clamped to the exact observed max so p100 is not
-  /// inflated to the bucket's upper edge.
+  /// Edge cases return exact values, never interpolated garbage: an empty
+  /// histogram reports 0, a single sample reports that sample, and every
+  /// estimate is clamped to the observed [min, max] so p100 is not inflated
+  /// to the bucket's upper edge (nor low quantiles deflated below min).
   double quantile(double q) const;
 
   /// Exact bucket-wise merge: the result is identical to having added both

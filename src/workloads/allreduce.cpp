@@ -373,6 +373,7 @@ AllreduceResult run_allreduce(const AllreduceConfig& cfg,
 
   Workspace w(adjusted, cfg);
   if (cfg.trace != nullptr) w.cluster.enable_tracing(*cfg.trace);
+  if (cfg.timeseries != nullptr) w.cluster.attach_timeseries(*cfg.timeseries);
   std::vector<sim::ProcessHandle> ranks;
   for (int r = 0; r < cfg.nodes; ++r) {
     switch (cfg.strategy) {
@@ -419,7 +420,7 @@ AllreduceResult run_allreduce(const AllreduceConfig& cfg,
                std::to_string(cfg.nodes) + " ranks";
   res.elements = cfg.elements;
   res.total_time = finished_at;
-  w.cluster.export_net_stats(res.net_stats);
+  w.cluster.export_net_stats(res.net_stats, res.total_time);
 
   // Verify a stride of elements on every rank against the sequential sum.
   res.correct = true;

@@ -155,6 +155,7 @@ BroadcastResult run_broadcast(const BroadcastConfig& cfg,
 
   Workspace w(adjusted, cfg);
   if (cfg.trace != nullptr) w.cluster.enable_tracing(*cfg.trace);
+  if (cfg.timeseries != nullptr) w.cluster.attach_timeseries(*cfg.timeseries);
   std::vector<sim::ProcessHandle> nodes;
   for (int n = 0; n < cfg.nodes; ++n) {
     switch (cfg.drive) {
@@ -192,7 +193,7 @@ BroadcastResult run_broadcast(const BroadcastConfig& cfg,
                std::to_string(cfg.nodes) + " nodes";
   res.bytes = cfg.bytes;
   res.total_time = finished_at;
-  w.cluster.export_net_stats(res.net_stats);
+  w.cluster.export_net_stats(res.net_stats, res.total_time);
   res.correct = true;
   for (int n = 0; n < cfg.nodes && res.correct; ++n) {
     auto v = w.cluster.node(n).memory().typed<float>(w.vec[n], w.elems);

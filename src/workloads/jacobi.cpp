@@ -425,6 +425,7 @@ JacobiResult run_jacobi(const JacobiConfig& cfg,
 
   Workspace w(adjusted, cfg);
   if (cfg.trace != nullptr) w.cluster.enable_tracing(*cfg.trace);
+  if (cfg.timeseries != nullptr) w.cluster.attach_timeseries(*cfg.timeseries);
   std::vector<sim::ProcessHandle> nodes;
   for (int i = 0; i < kNodes; ++i) {
     switch (cfg.strategy) {
@@ -469,7 +470,7 @@ JacobiResult run_jacobi(const JacobiConfig& cfg,
   res.n = cfg.n;
   res.iterations = cfg.iterations;
   res.total_time = finished_at;
-  w.cluster.export_net_stats(res.net_stats);
+  w.cluster.export_net_stats(res.net_stats, res.total_time);
 
   auto ref = reference(cfg.n, cfg.iterations);
   int g = 2 * cfg.n;

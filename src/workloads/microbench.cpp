@@ -367,6 +367,7 @@ MicrobenchResult run_microbench(const MicrobenchConfig& cfg,
                                 const cluster::SystemConfig& config) {
   Rig r(config);
   if (cfg.trace != nullptr) r.cluster.enable_tracing(*cfg.trace);
+  if (cfg.timeseries != nullptr) r.cluster.attach_timeseries(*cfg.timeseries);
   MicrobenchResult res;
   switch (cfg.strategy) {
     case Strategy::kCpu:
@@ -396,7 +397,7 @@ MicrobenchResult run_microbench(const MicrobenchConfig& cfg,
   res.label = "microbench";
   res.detail = "one cache line, initiator -> target";
   res.total_time = res.target_completion;
-  r.cluster.export_net_stats(res.net_stats);
+  r.cluster.export_net_stats(res.net_stats, res.total_time);
   return res;
 }
 

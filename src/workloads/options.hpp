@@ -18,6 +18,10 @@
 #include "sim/units.hpp"
 #include "workloads/strategy.hpp"
 
+namespace gputn::obs {
+class TimeSeries;
+}  // namespace gputn::obs
+
 namespace gputn::workloads {
 
 /// Options every workload runner understands. Workload configs inherit this
@@ -36,6 +40,12 @@ struct RunOptions {
   /// untraced run. Must be a recorder private to this run when runs execute
   /// in parallel (exp::Runner) — TraceRecorder is not synchronized.
   sim::TraceRecorder* trace = nullptr;
+  /// When non-null, the run attaches the cluster's standard probes to this
+  /// sampler (Cluster::attach_timeseries) and samples them at its interval.
+  /// Sampling is pure observation like tracing: results, counters, and
+  /// timestamps are bit-identical to an unsampled run (the zero-drift test
+  /// enforces this). Same parallel-runner caveat as `trace`.
+  obs::TimeSeries* timeseries = nullptr;
   /// Suppress the per-run stdout report. exp::Plan forces this on for
   /// points executed by the parallel runner, whose workers must not
   /// interleave prints; the driver reports from the merged results instead.

@@ -107,6 +107,8 @@ Cfg make_config(const RunOptions& opts, const WorkloadParams& p) {
   }
   if (opts.nodes != 0) cfg.nodes = opts.nodes;
   cfg.trace = opts.trace;
+  cfg.timeseries = opts.timeseries;
+  cfg.quiet = opts.quiet;
   return cfg;
 }
 

@@ -1,0 +1,92 @@
+// Unit tests of the utilization ledger: busy / queue time integrals,
+// capacity-aware accounting, and the stats-export naming contract the
+// bottleneck report parses (util.<resource>.busy_ps etc.).
+#include <gtest/gtest.h>
+
+#include "obs/busy.hpp"
+#include "sim/stats.hpp"
+
+namespace gputn::obs {
+namespace {
+
+TEST(BusyTracker, AccumulatesBusyIntegral) {
+  BusyTracker t;
+  t.acquire(100);
+  t.release(250);       // 150 ps busy
+  t.acquire(1000);
+  t.release(1100);      // +100 ps busy
+  EXPECT_EQ(t.busy_ps(2000), 250u);
+  EXPECT_EQ(t.ops(), 2u);
+  EXPECT_EQ(t.in_use(), 0);
+  EXPECT_EQ(t.in_use_max(), 1);
+}
+
+TEST(BusyTracker, SettlesInProgressWorkAtQueryTime) {
+  BusyTracker t;
+  t.acquire(100);
+  // Still busy: the integral includes the open interval up to `now`.
+  EXPECT_EQ(t.busy_ps(300), 200u);
+  EXPECT_EQ(t.busy_ps(500), 400u);
+  t.release(500);
+  EXPECT_EQ(t.busy_ps(900), 400u);
+}
+
+TEST(BusyTracker, CapacityCountsOverlappingUnits) {
+  BusyTracker t(4);
+  t.acquire(0);
+  t.acquire(0);         // two units busy over [0, 100)
+  t.release(100);
+  t.release(100);
+  EXPECT_EQ(t.capacity(), 4);
+  EXPECT_EQ(t.in_use_max(), 2);
+  // Busy integral is unit-picoseconds: 2 units x 100 ps.
+  EXPECT_EQ(t.busy_ps(100), 200u);
+}
+
+TEST(BusyTracker, QueueIntegralIsTimeWeighted) {
+  BusyTracker t;
+  t.enqueue(0);
+  t.enqueue(0);         // depth 2 over [0, 50)
+  t.dequeue(50);        // depth 1 over [50, 150)
+  t.dequeue(150);
+  // 2*50 + 1*100 = 200 depth-ps; mean depth over a 200 ps window = 1.0.
+  EXPECT_EQ(t.queue_time_ps(200), 200u);
+  EXPECT_EQ(t.queue_max(), 2);
+  EXPECT_EQ(t.queue_depth(), 0);
+  // Enqueue-instant depths (1 then 2) feed the histogram.
+  EXPECT_EQ(t.queue_depths().count(), 2u);
+}
+
+TEST(BusyTracker, ExportNamingContract) {
+  BusyTracker t(2);
+  t.enqueue(0);
+  t.dequeue(10);
+  t.acquire(10);
+  t.release(110);
+  t.add_bytes(4096);
+  sim::StatRegistry reg;
+  t.export_into(reg, "util.node0.nic.cmd", 200);
+  const auto& c = reg.counters();
+  EXPECT_EQ(c.at("util.node0.nic.cmd.busy_ps"), 100u);
+  EXPECT_EQ(c.at("util.node0.nic.cmd.capacity"), 2u);
+  EXPECT_EQ(c.at("util.node0.nic.cmd.ops"), 1u);
+  EXPECT_EQ(c.at("util.node0.nic.cmd.bytes"), 4096u);
+  EXPECT_EQ(c.at("util.node0.nic.cmd.q.max"), 1u);
+  EXPECT_EQ(c.at("util.node0.nic.cmd.q.time_ps"), 10u);
+  EXPECT_EQ(reg.histograms().at("util.node0.nic.cmd.qdepth").count(), 1u);
+}
+
+TEST(BusyTracker, QuietResourceExportsNoQueueOrBytes) {
+  BusyTracker t;
+  t.acquire(0);
+  t.release(50);
+  sim::StatRegistry reg;
+  t.export_into(reg, "util.x", 100);
+  EXPECT_EQ(reg.counters().count("util.x.bytes"), 0u);
+  EXPECT_EQ(reg.counters().count("util.x.q.max"), 0u);
+  EXPECT_EQ(reg.counters().count("util.x.q.time_ps"), 0u);
+  EXPECT_EQ(reg.histograms().count("util.x.qdepth"), 0u);
+}
+
+}  // namespace
+}  // namespace gputn::obs

@@ -1,0 +1,159 @@
+// `gputn report` logic: parsing our stats / sweep JSON shapes, the exact
+// rendered attribution table (pinned as a golden string — the report is a
+// CI-facing artifact, so its format is part of the contract), the baseline
+// diff with its regression gate, and the malformed-input error paths.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "obs/report.hpp"
+
+namespace gputn::obs {
+namespace {
+
+// A hand-written single-run stats file: one saturated single-capacity link
+// with queueing, one multi-core CPU without, one latency stage. Window is
+// 1e6 ps so busy fractions are easy to eyeball (95% and 5%).
+const char* kStatsFixture = R"({
+  "counters": {
+    "net.bytes": 1000,
+    "util.window_ps": 1000000,
+    "util.linkA.busy_ps": 950000,
+    "util.linkA.capacity": 1,
+    "util.linkA.ops": 10,
+    "util.linkA.q.max": 3,
+    "util.linkA.q.time_ps": 500000,
+    "util.cpu.busy_ps": 400000,
+    "util.cpu.capacity": 8,
+    "util.cpu.ops": 5
+  },
+  "histograms": {
+    "util.linkA.qdepth": {"count": 10, "p99": 3.0},
+    "lat.wire": {"count": 4, "mean": 2000.0, "p50": 1500.0,
+                 "p90": 3000.0, "p99": 3500.0, "max": 4000.0}
+  }
+})";
+
+TEST(Report, ParsesStatsFixture) {
+  Report rep = parse_report(kStatsFixture, "test.json");
+  ASSERT_EQ(rep.points.size(), 1u);
+  const PointReport& pt = rep.points[0];
+  EXPECT_EQ(pt.window_ps, 1000000u);
+  ASSERT_EQ(pt.resources.size(), 2u);
+  // Ranked by busy fraction: the 95%-busy link above the 5%-busy CPU.
+  EXPECT_EQ(pt.resources[0].name, "linkA");
+  EXPECT_EQ(pt.resources[0].busy_ps, 950000u);
+  EXPECT_TRUE(pt.resources[0].has_queue);
+  EXPECT_DOUBLE_EQ(pt.resources[0].q_p99, 3.0);
+  EXPECT_EQ(pt.resources[1].name, "cpu");
+  EXPECT_EQ(pt.resources[1].capacity, 8u);
+  EXPECT_FALSE(pt.resources[1].has_queue);
+  ASSERT_EQ(pt.latency.size(), 1u);
+  EXPECT_EQ(pt.latency[0].stage, "wire");
+  EXPECT_EQ(pt.latency[0].count, 4u);
+}
+
+TEST(Report, RendersAttributionTableExactly) {
+  Report rep = parse_report(kStatsFixture, "test.json");
+  std::string got = render_report(rep, ReportOptions{});
+  const std::string expected =
+      "== test.json (window 0.001 ms) ==\n"
+      "  resource                busy%        ops       q.max  q.mean   "
+      "q.p99\n"
+      "  linkA                    95.0         10           3    0.50     "
+      "3.0  SATURATED\n"
+      "  cpu                       5.0          5           -       -       "
+      "-\n"
+      "  latency stages (us)       count      mean       p50       p90      "
+      " p99       max\n"
+      "  wire                            4     2.000     1.500     3.000    "
+      " 3.500     4.000\n";
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Report, TopLimitsAndCountsOmittedRows) {
+  Report rep = parse_report(kStatsFixture, "test.json");
+  ReportOptions opt;
+  opt.top = 1;
+  std::string got = render_report(rep, opt);
+  EXPECT_NE(got.find("linkA"), std::string::npos);
+  EXPECT_EQ(got.find("\n  cpu "), std::string::npos);
+  EXPECT_NE(got.find("... 1 more resources (--top)"), std::string::npos);
+}
+
+TEST(Report, ParsesSweepArrayIncludingFailedPoints) {
+  const char* sweep = R"([
+    {"id": "a", "ok": true, "total_time_ps": 100,
+     "stats": {"counters": {"util.window_ps": 100}}},
+    {"id": "b", "ok": false, "error": "deadlocked"}
+  ])";
+  Report rep = parse_report(sweep, "sweep.json");
+  ASSERT_EQ(rep.points.size(), 2u);
+  EXPECT_EQ(rep.points[0].id, "a");
+  EXPECT_EQ(rep.points[0].total_time_ps, 100);
+  EXPECT_DOUBLE_EQ(rep.points[0].metrics.at("total_time_ps"), 100.0);
+  EXPECT_FALSE(rep.points[1].ok);
+  EXPECT_EQ(rep.points[1].error, "deadlocked");
+  std::string rendered = render_report(rep, ReportOptions{});
+  EXPECT_NE(rendered.find("== b == FAILED: deadlocked"), std::string::npos);
+}
+
+TEST(Report, DiffFlagsGatedRegressionExactly) {
+  const char* base = R"([{"id": "p1", "ok": true, "total_time_ps": 100,
+    "stats": {"counters": {"util.window_ps": 100}}}])";
+  const char* cur = R"([{"id": "p1", "ok": true, "total_time_ps": 110,
+    "stats": {"counters": {"util.window_ps": 110}}}])";
+  Report b = parse_report(base, "base.json");
+  Report c = parse_report(cur, "cur.json");
+  Diff d = diff_reports(c, b, ReportOptions{});
+  EXPECT_EQ(d.regressions, 1);
+  const std::string expected =
+      "== p1 vs baseline ==\n"
+      "  counters.util.window_ps                        100.000 ->       "
+      "110.000    +10.00%\n"
+      "  total_time_ps                                  100.000 ->       "
+      "110.000    +10.00%  REGRESSION (>5.0%)\n"
+      "FAIL: 1 gated metric(s) regressed past 5.0%\n";
+  EXPECT_EQ(d.text, expected);
+}
+
+TEST(Report, DiffPassesWithinThresholdAndOnImprovement) {
+  const char* base = R"([{"id": "p1", "ok": true, "total_time_ps": 100,
+    "stats": {"counters": {"util.window_ps": 100}}}])";
+  const char* faster = R"([{"id": "p1", "ok": true, "total_time_ps": 80,
+    "stats": {"counters": {"util.window_ps": 80}}}])";
+  Report b = parse_report(base, "base.json");
+  Diff self = diff_reports(b, b, ReportOptions{});
+  EXPECT_EQ(self.regressions, 0);
+  EXPECT_NE(self.text.find("no metric deltas"), std::string::npos);
+  EXPECT_NE(self.text.find("OK: no gated metric regressed"),
+            std::string::npos);
+
+  // Improvements never gate, whatever their size.
+  Report f = parse_report(faster, "cur.json");
+  EXPECT_EQ(diff_reports(f, b, ReportOptions{}).regressions, 0);
+
+  // A wider threshold lets the +10% run pass.
+  const char* slower = R"([{"id": "p1", "ok": true, "total_time_ps": 110,
+    "stats": {"counters": {"util.window_ps": 110}}}])";
+  Report s = parse_report(slower, "cur.json");
+  ReportOptions loose;
+  loose.threshold_pct = 25.0;
+  EXPECT_EQ(diff_reports(s, b, loose).regressions, 0);
+}
+
+TEST(Report, MalformedInputThrows) {
+  EXPECT_THROW(parse_report("{bad", "x"), std::runtime_error);
+  EXPECT_THROW(parse_report("42", "x"), std::runtime_error);
+  EXPECT_THROW(parse_report("[1, 2]", "x"), std::runtime_error);
+  // An object without a counters section is not one of our stats files.
+  EXPECT_THROW(parse_report(R"({"rows": []})", "x"), std::runtime_error);
+  // Sweep points missing id / stats.
+  EXPECT_THROW(parse_report(R"([{"ok": true}])", "x"), std::runtime_error);
+  EXPECT_THROW(parse_report(R"([{"id": "a", "ok": true}])", "x"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gputn::obs

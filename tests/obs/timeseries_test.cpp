@@ -1,0 +1,96 @@
+// TimeSeries sampler: registration, gauge vs counter-delta semantics, CSV /
+// JSON shape, and — the part that interacts with the event engine — the
+// termination rule: a self-rescheduling sampler must stop once it is the
+// only pending event, so sim.run() still returns.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/timeseries.hpp"
+#include "sim/simulator.hpp"
+
+namespace gputn::obs {
+namespace {
+
+TEST(TimeSeries, RejectsNonPositiveInterval) {
+  EXPECT_THROW(TimeSeries(0), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(-5), std::invalid_argument);
+}
+
+TEST(TimeSeries, RejectsDoubleStart) {
+  sim::Simulator sim;
+  TimeSeries ts(100);
+  ts.start(sim);
+  EXPECT_THROW(ts.start(sim), std::logic_error);
+}
+
+TEST(TimeSeries, GaugesSampleInstantCountersSampleDeltas) {
+  sim::Simulator sim;
+  std::uint64_t gauge = 0;
+  std::uint64_t cumulative = 0;
+  sim.schedule_in(50, [&] { gauge = 1; cumulative += 10; });
+  sim.schedule_in(250, [&] { gauge = 5; cumulative += 7; });
+
+  TimeSeries ts(100);
+  ts.add_gauge("g", [&] { return gauge; });
+  ts.add_counter("c", [&] { return cumulative; });
+  ts.start(sim);
+  sim.run();
+
+  // Baseline at t=0, then samples at 100, 200, 300. At t=300 the sampler is
+  // the only pending event, so it records its final row and stops; run()
+  // returns with the clock parked there.
+  EXPECT_EQ(sim.now(), 300);
+  ASSERT_EQ(ts.columns(), 2u);
+  ASSERT_EQ(ts.rows(), 4u);
+  // Row layout: [t_ps, gauge, counter-delta].
+  EXPECT_EQ(ts.cell(0, 0), 0u);
+  EXPECT_EQ(ts.cell(0, 1), 0u);
+  EXPECT_EQ(ts.cell(0, 2), 0u);
+  EXPECT_EQ(ts.cell(1, 0), 100u);
+  EXPECT_EQ(ts.cell(1, 1), 1u);   // gauge reads the instantaneous value
+  EXPECT_EQ(ts.cell(1, 2), 10u);  // counter reads the per-interval delta
+  EXPECT_EQ(ts.cell(2, 2), 0u);   // nothing happened in [100, 200)
+  EXPECT_EQ(ts.cell(3, 1), 5u);
+  EXPECT_EQ(ts.cell(3, 2), 7u);
+}
+
+TEST(TimeSeries, StopsWhenSimulationDrains) {
+  // No workload events at all: baseline row plus exactly one tick, after
+  // which pending_events() == 0 ends the sampler. A sampler that kept
+  // rescheduling would make sim.run() spin forever.
+  sim::Simulator sim;
+  TimeSeries ts(100);
+  ts.add_gauge("g", [] { return 0u; });
+  ts.start(sim);
+  sim.run();
+  EXPECT_EQ(sim.now(), 100);
+  EXPECT_EQ(ts.rows(), 2u);
+}
+
+TEST(TimeSeries, CsvAndJsonShape) {
+  sim::Simulator sim;
+  std::uint64_t v = 3;
+  sim.schedule_in(40, [&] { v = 9; });
+  TimeSeries ts(50);
+  ts.add_gauge("net.q", [&] { return v; });
+  ts.start(sim);
+  sim.run();
+
+  // Baseline at 0, final sample at 50 (the t=40 event was consumed, so the
+  // sampler stops after its first tick).
+  std::ostringstream csv;
+  ts.write_csv(csv);
+  EXPECT_EQ(csv.str(), "t_ps,net.q\n0,3\n50,9\n");
+
+  std::ostringstream json;
+  ts.write_json(json);
+  EXPECT_EQ(json.str(),
+            "{\n  \"interval_ps\": 50,\n  \"columns\": [\"t_ps\", "
+            "\"net.q\"],\n  \"rows\": [\n    [0, 3],\n    [50, 9]\n  ]\n}\n");
+}
+
+}  // namespace
+}  // namespace gputn::obs

@@ -83,6 +83,46 @@ TEST(Histogram, QuantileEdgeCases) {
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // zero bucket
 }
 
+TEST(Histogram, SingleSampleQuantileIsTheSample) {
+  // Pow2-bucket interpolation would otherwise report a point inside the
+  // sample's bucket span (e.g. ~6 for a lone 7 in bucket [4,8)); with one
+  // sample every quantile must be that sample.
+  Histogram h;
+  h.add(7);
+  EXPECT_DOUBLE_EQ(h.quantile(0.01), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 7.0);
+}
+
+TEST(Histogram, AllZeroSamplesQuantileIsZero) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.add(0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(Histogram, QuantileClampedToObservedRange) {
+  // Bucket edges can lie outside [min, max]; quantiles must not.
+  Histogram h;
+  h.add(5);
+  h.add(5);
+  h.add(6);
+  for (double q : {0.01, 0.5, 0.9, 0.99}) {
+    EXPECT_GE(h.quantile(q), h.min());
+    EXPECT_LE(h.quantile(q), h.max());
+  }
+}
+
+TEST(Accumulator, EmptyMinMaxAreZeroNotNan) {
+  // Documented NaN-free sentinel: min()/max() on an empty accumulator
+  // return 0.0 so exports and reports never emit NaN; callers that care
+  // check count() first.
+  Accumulator a;
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
 TEST(Accumulator, MergeMatchesSingleStream) {
   Accumulator a, b, all;
   for (double x : {2.0, 4.0, 4.0, 4.0}) {

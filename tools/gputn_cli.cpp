@@ -2,6 +2,7 @@
 //
 //   gputn config     [--loss P]
 //   gputn sweep      [--jobs N] [--stats-json FILE]
+//   gputn report     FILE... [--baseline FILE] [--threshold PCT] [--top N]
 //   gputn <workload> [workload options]
 //
 // Workloads come from workloads::Registry (microbench, jacobi, allreduce,
@@ -28,7 +29,18 @@
 //   --trace FILE       write a Chrome-trace (Perfetto) JSON timeline with
 //                      per-message flow arrows (single runs only)
 //   --stats-json FILE  write counters + latency histograms as JSON
+//   --timeseries FILE  sample per-link bytes, NIC queue depths, retransmit
+//                      windows and CU occupancy at a fixed simulated-time
+//                      interval; .csv extension selects CSV, else JSON
+//                      (single runs only, like --trace)
+//   --sample-interval NS  sampling interval in simulated ns (default 1000)
 //   --log-level L      trace|debug|info|warn|error|off (default warn)
+//
+// `gputn report` turns stats/sweep JSON files into a bottleneck attribution
+// report (resources ranked by busy fraction, queue p99s, saturated links
+// flagged, latency decomposition); with --baseline it prints per-metric
+// deltas and exits nonzero when a gated metric regressed past --threshold
+// (default 5%), which makes it usable as a CI perf gate.
 //
 // Exit code is nonzero on verification failure or bad arguments.
 #include <climits>
@@ -37,14 +49,20 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "exp/plan.hpp"
 #include "exp/runner.hpp"
 #include "exp/sweeps.hpp"
+#include "obs/report.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/log.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
+#include "sim/units.hpp"
 #include "workloads/registry.hpp"
 
 using namespace gputn;
@@ -59,6 +77,11 @@ namespace {
                "  %-18s run the fig09+fig10+ablation mini-sweep in "
                "parallel\n  %-18s   --jobs <n> --stats-json <file>\n",
                "sweep", "");
+  std::fprintf(stderr,
+               "  %-18s bottleneck attribution from stats/sweep JSON\n"
+               "  %-18s   <file>... --baseline <file> --threshold <pct> "
+               "--top <n>\n",
+               "report", "");
   for (const auto& e : Registry::instance().entries()) {
     std::fprintf(stderr, "  %-18s %s\n", e.name.c_str(),
                  e.description.c_str());
@@ -70,6 +93,7 @@ namespace {
       "--seed <s>\n"
       "  replication (any workload): --replicas <r> --jobs <n>\n"
       "  observability (any workload): --trace <file> --stats-json <file> "
+      "--timeseries <file> --sample-interval <ns> "
       "--log-level trace|debug|info|warn|error|off\n");
   std::exit(2);
 }
@@ -121,18 +145,47 @@ void apply_log_level(const Args& args) {
   }
 }
 
-/// --trace / --stats-json handling shared by every workload subcommand.
-/// Owns the TraceRecorder for the run and writes both artifacts at the end.
-class Observability {
+/// The RunOptions fields and driver-level flags everything shares; the rest
+/// of the command line becomes the workload's WorkloadParams.
+bool is_driver_key(const std::string& k) {
+  return k == "nodes" || k == "trace" || k == "stats-json" ||
+         k == "timeseries" || k == "sample-interval" || k == "log-level" ||
+         k == "loss" || k == "seed" || k == "jobs" || k == "replicas";
+}
+
+/// Validated value of a numeric driver flag (shared Args -> long plumbing).
+long driver_int(const Args& args, const std::string& key, long dflt, long min,
+                long max) {
+  if (!args.has(key)) return dflt;
+  WorkloadParams p;
+  p.set(key, args.get(key, ""));
+  return p.get_int(key, dflt, min, max);
+}
+
+/// --trace / --stats-json / --timeseries handling shared by every workload
+/// subcommand. Owns the TraceRecorder and TimeSeries for the run and writes
+/// the artifacts at the end. Every write reports I/O failures to stderr and
+/// makes finish() return nonzero: an unwritable artifact must fail the run,
+/// not silently vanish (these files gate CI).
+class ObservabilityFlags {
  public:
-  explicit Observability(const Args& args)
+  explicit ObservabilityFlags(const Args& args)
       : trace_path_(args.get("trace", "")),
-        stats_path_(args.get("stats-json", "")) {}
+        stats_path_(args.get("stats-json", "")),
+        ts_path_(args.get("timeseries", "")) {
+    if (!ts_path_.empty()) {
+      long interval_ns =
+          driver_int(args, "sample-interval", 1000, 1, 1L << 40);
+      ts_ = std::make_unique<obs::TimeSeries>(sim::ns(interval_ns));
+    }
+  }
 
   /// Recorder to hand to the workload config, or nullptr when not requested.
   sim::TraceRecorder* trace() {
     return trace_path_.empty() ? nullptr : &recorder_;
   }
+  /// Sampler to hand to the workload config, or nullptr when not requested.
+  obs::TimeSeries* timeseries() { return ts_.get(); }
 
   /// Write the requested artifacts; returns 0, or 1 on I/O failure.
   int finish(const ResultBase& res) {
@@ -148,13 +201,37 @@ class Observability {
       }
     }
     if (!stats_path_.empty()) {
+      // Flush before checking: buffered bytes that fail at close time (disk
+      // full, dead mount) must surface here, not in a destructor nobody
+      // checks.
       std::ofstream out(stats_path_);
-      out << res.stats_json() << "\n";
+      if (out) out << res.stats_json() << "\n" << std::flush;
       if (out.good()) {
         std::printf("  stats: %s\n", stats_path_.c_str());
       } else {
         std::fprintf(stderr, "gputn: cannot write stats to '%s'\n",
                      stats_path_.c_str());
+        rc = 1;
+      }
+    }
+    if (ts_ != nullptr) {
+      std::ofstream out(ts_path_);
+      if (out) {
+        bool csv = ts_path_.size() >= 4 &&
+                   ts_path_.compare(ts_path_.size() - 4, 4, ".csv") == 0;
+        if (csv) {
+          ts_->write_csv(out);
+        } else {
+          ts_->write_json(out);
+        }
+        out << std::flush;
+      }
+      if (out.good()) {
+        std::printf("  timeseries: %s (%zu samples)\n", ts_path_.c_str(),
+                    ts_->rows());
+      } else {
+        std::fprintf(stderr, "gputn: cannot write timeseries to '%s'\n",
+                     ts_path_.c_str());
         rc = 1;
       }
     }
@@ -164,32 +241,17 @@ class Observability {
  private:
   std::string trace_path_;
   std::string stats_path_;
+  std::string ts_path_;
   sim::TraceRecorder recorder_;
+  std::unique_ptr<obs::TimeSeries> ts_;
 };
-
-/// The RunOptions fields and driver-level flags everything shares; the rest
-/// of the command line becomes the workload's WorkloadParams.
-bool is_driver_key(const std::string& k) {
-  return k == "nodes" || k == "trace" || k == "stats-json" ||
-         k == "log-level" || k == "loss" || k == "seed" || k == "jobs" ||
-         k == "replicas";
-}
-
-/// Validated value of a numeric driver flag (shared Args -> long plumbing).
-long driver_int(const Args& args, const std::string& key, long dflt, long min,
-                long max) {
-  if (!args.has(key)) return dflt;
-  WorkloadParams p;
-  p.set(key, args.get(key, ""));
-  return p.get_int(key, dflt, min, max);
-}
 
 /// Write a merged sweep JSON when --stats-json was given; 0 or 1 (I/O).
 int write_sweep_json(const Args& args, const gputn::exp::RunSummary& summary) {
   std::string path = args.get("stats-json", "");
   if (path.empty()) return 0;
   std::ofstream out(path);
-  out << gputn::exp::results_json(summary) << "\n";
+  if (out) out << gputn::exp::results_json(summary) << "\n" << std::flush;
   if (!out.good()) {
     std::fprintf(stderr, "gputn: cannot write stats to '%s'\n", path.c_str());
     return 1;
@@ -258,6 +320,12 @@ int run_workload(const WorkloadEntry& entry, const Args& args) {
                    "recorder); drop --replicas or --trace\n");
       return 2;
     }
+    if (args.has("timeseries")) {
+      std::fprintf(stderr,
+                   "gputn: --timeseries is single-run only (replicas share "
+                   "no sampler); drop --replicas or --timeseries\n");
+      return 2;
+    }
     gputn::exp::Runner runner(jobs);
     gputn::exp::RunSummary summary =
         runner.run(replica_plan(entry, opts, params, loss, seed, replicas));
@@ -266,8 +334,9 @@ int run_workload(const WorkloadEntry& entry, const Args& args) {
     return rc != 0 ? rc : io_rc;
   }
 
-  Observability obs(args);
+  ObservabilityFlags obs(args);
   opts.trace = obs.trace();
+  opts.timeseries = obs.timeseries();
   cluster::SystemConfig sys = cluster::SystemConfig::table2_with_loss(
       loss, static_cast<std::uint64_t>(seed));
 
@@ -278,6 +347,12 @@ int run_workload(const WorkloadEntry& entry, const Args& args) {
 
 /// `gputn sweep`: the built-in mini-sweep on the parallel engine.
 int run_sweep(const Args& args) {
+  if (args.has("trace") || args.has("timeseries")) {
+    std::fprintf(stderr,
+                 "gputn: --trace/--timeseries are single-run only; the "
+                 "sweep runs its points in parallel\n");
+    return 2;
+  }
   int jobs = static_cast<int>(driver_int(args, "jobs", 0, 0, 4096));
   gputn::exp::Runner runner(jobs);
   gputn::exp::RunSummary summary = runner.run(gputn::exp::mini_sweep_plan());
@@ -286,12 +361,79 @@ int run_sweep(const Args& args) {
   return rc != 0 ? rc : io_rc;
 }
 
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// `gputn report FILE... [--baseline FILE] [--threshold PCT] [--top N]`.
+/// Parsed by hand: report takes positional file arguments, which the
+/// --key-only Args parser rejects.
+int run_report(int argc, char** argv) {
+  obs::ReportOptions opt;
+  std::vector<std::string> files;
+  std::string baseline;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--baseline") {
+      baseline = value();
+    } else if (a == "--threshold") {
+      char* end = nullptr;
+      opt.threshold_pct = std::strtod(value(), &end);
+      if (end == nullptr || *end != '\0' || opt.threshold_pct < 0.0) usage();
+    } else if (a == "--top") {
+      char* end = nullptr;
+      long n = std::strtol(value(), &end, 10);
+      if (end == nullptr || *end != '\0' || n < 0) usage();
+      opt.top = static_cast<int>(n);
+    } else if (a.rfind("--", 0) == 0) {
+      usage();
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.empty()) usage();
+  obs::Report base;
+  if (!baseline.empty()) {
+    base = obs::parse_report(slurp(baseline), baseline);
+  }
+  int rc = 0;
+  for (const std::string& f : files) {
+    obs::Report rep = obs::parse_report(slurp(f), f);
+    std::fputs(obs::render_report(rep, opt).c_str(), stdout);
+    if (!baseline.empty()) {
+      obs::Diff d = obs::diff_reports(rep, base, opt);
+      std::fputs(d.text.c_str(), stdout);
+      if (d.regressions > 0) rc = 1;
+    }
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   register_builtin_workloads(Registry::instance());
   if (argc < 2) usage();
   std::string cmd = argv[1];
+  if (cmd == "report") {
+    // Positional file arguments: dispatched before the Args parser, which
+    // only understands --flags. Unreadable / malformed input surfaces as a
+    // runtime_error -> exit 1; regressions against --baseline also exit 1.
+    try {
+      return run_report(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "gputn: %s\n", e.what());
+      return 1;
+    }
+  }
   Args args(argc, argv, 2);
   apply_log_level(args);
   // Bad parameters and simulation failures (deadlock watchdog, reliability
