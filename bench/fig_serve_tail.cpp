@@ -1,0 +1,197 @@
+// Serving-workload tail latency: CPU host proxy vs GPU-TN write-back
+// across offered load.
+//
+// The sweep drives the Zipf-skewed multi-tenant KV workload (src/serve/) at
+// increasing open-loop offered load and reports the worst-tenant p50 / p99 /
+// p999 for both put-response strategies. The CPU proxy serializes put
+// handling through host cores (poll + compute + post per request), so past
+// its service rate the open-loop arrival queue blows up the tail; GPU-TN
+// fires the write-back from the persistent kernel's triggered put, and the
+// parallel slots hold the tail flat for far longer. The knee — the first
+// load whose p99 exceeds 2x the lowest-load p99 — lands earlier for CPU.
+//
+// Sweep runs through the parallel experiment engine (`--jobs N`); output is
+// identical at any jobs value.
+//
+// Emits BENCH_serve.json. Usage: fig_serve_tail [out.json] [--jobs N]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/sweeps.hpp"
+#include "serve/serve.hpp"
+#include "sim/stats.hpp"
+
+using namespace gputn;
+
+namespace {
+
+struct TenantTail {
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
+  std::uint64_t ops = 0;
+  std::uint64_t slo_ok = 0;
+};
+
+struct Point {
+  double load = 0.0;
+  const char* strategy = "";
+  std::vector<TenantTail> tenants;
+  double worst_p99_ns = 0.0;
+  double worst_p999_ns = 0.0;
+  double goodput_rps = 0.0;
+  double window_us = 0.0;
+};
+
+/// Per-tenant tails out of the lat.serve.t<i> histograms the workload
+/// exports for `gputn report` (values are nanoseconds).
+Point extract(double load, const char* strategy,
+              const workloads::ResultBase& res, int tenants) {
+  Point p;
+  p.load = load;
+  p.strategy = strategy;
+  std::uint64_t window_ps = res.net_stats.counter_value("serve.window_ps");
+  p.window_us = static_cast<double>(window_ps) / 1e6;
+  std::uint64_t slo_ok_total = 0;
+  for (int t = 0; t < tenants; ++t) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "lat.serve.t%d", t);
+    const sim::Histogram* h = res.net_stats.find_histogram(name);
+    if (h == nullptr || h->count() == 0) {
+      std::fprintf(stderr, "fig_serve_tail: missing histogram %s\n", name);
+      std::exit(1);
+    }
+    TenantTail tt;
+    tt.p50_ns = h->quantile(0.50);
+    tt.p99_ns = h->quantile(0.99);
+    tt.p999_ns = h->quantile(0.999);
+    tt.ops = h->count();
+    std::snprintf(name, sizeof(name), "serve.t%d.slo_ok", t);
+    tt.slo_ok = res.net_stats.counter_value(name);
+    slo_ok_total += tt.slo_ok;
+    p.worst_p99_ns = std::max(p.worst_p99_ns, tt.p99_ns);
+    p.worst_p999_ns = std::max(p.worst_p999_ns, tt.p999_ns);
+    p.tenants.push_back(tt);
+  }
+  if (window_ps > 0) {
+    p.goodput_rps =
+        static_cast<double>(slo_ok_total) * 1e12 / static_cast<double>(window_ps);
+  }
+  return p;
+}
+
+/// First load whose worst-tenant p99 exceeds 2x the lowest-load p99, or -1
+/// if the strategy never knees inside the sweep.
+double knee_load(const std::vector<Point>& pts) {
+  if (pts.empty()) return -1.0;
+  double base = pts.front().worst_p99_ns;
+  for (const Point& p : pts) {
+    if (p.worst_p99_ns > 2.0 * base) return p.load;
+  }
+  return -1.0;
+}
+
+void json_points(std::ofstream& out, const std::vector<Point>& pts) {
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Point& p = pts[i];
+    out << "      {\"offered_load_rps\": " << p.load
+        << ", \"worst_p99_ns\": " << p.worst_p99_ns
+        << ", \"worst_p999_ns\": " << p.worst_p999_ns
+        << ", \"goodput_rps\": " << p.goodput_rps
+        << ", \"window_us\": " << p.window_us << ", \"tenants\": [";
+    for (std::size_t t = 0; t < p.tenants.size(); ++t) {
+      const TenantTail& tt = p.tenants[t];
+      out << (t ? ", " : "") << "{\"p50_ns\": " << tt.p50_ns
+          << ", \"p99_ns\": " << tt.p99_ns << ", \"p999_ns\": " << tt.p999_ns
+          << ", \"ops\": " << tt.ops << ", \"slo_ok\": " << tt.slo_ok << "}";
+    }
+    out << "]}" << (i + 1 < pts.size() ? "," : "") << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_serve.json";
+  if (argc > 1 && std::strncmp(argv[1], "--", 2) != 0) out_path = argv[1];
+
+  const std::vector<double> loads = {1e6, 2e6, 4e6};
+  serve::ServeConfig base;
+  base.tenants = 4;
+  base.window = 4;
+  base.requests = 200;
+  base.keyspace = 256;
+  base.read_fraction = 0.5;
+
+  exp::Runner runner(exp::jobs_from_args(argc, argv));
+  exp::RunSummary sweep = runner.run(exp::serve_load_plan(loads, base));
+  for (const exp::RunResult& r : sweep.results) {
+    if (!r.ok || !r.result.correct) {
+      std::fprintf(stderr, "fig_serve_tail: %s failed: %s\n", r.id.c_str(),
+                   r.error.c_str());
+      return 1;
+    }
+  }
+
+  // Plan order is load-major with {CPU, GPU-TN} inner.
+  std::vector<Point> cpu, gputn;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    cpu.push_back(extract(loads[i], "CPU", sweep.results[2 * i].result,
+                          base.tenants));
+    gputn.push_back(extract(loads[i], "GPU-TN",
+                            sweep.results[2 * i + 1].result, base.tenants));
+  }
+  double cpu_knee = knee_load(cpu);
+  double gputn_knee = knee_load(gputn);
+  double tail_advantage = cpu.back().worst_p99_ns / gputn.back().worst_p99_ns;
+
+  std::printf("Serving tail latency: %d tenants, zipf %.2f, rw-mix %.2f, "
+              "%zu requests/tenant\n\n",
+              base.tenants, base.zipf, base.read_fraction,
+              static_cast<std::size_t>(base.requests));
+  std::printf("%10s %8s %10s %10s %10s %12s\n", "load/s", "strat", "p50 us",
+              "p99 us", "p999 us", "goodput/s");
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    for (const Point* p : {&cpu[i], &gputn[i]}) {
+      double p50 = 0.0;
+      for (const TenantTail& tt : p->tenants) p50 = std::max(p50, tt.p50_ns);
+      std::printf("%10.0f %8s %10.2f %10.2f %10.2f %12.0f\n", p->load,
+                  p->strategy, p50 / 1e3, p->worst_p99_ns / 1e3,
+                  p->worst_p999_ns / 1e3, p->goodput_rps);
+    }
+  }
+  std::printf("\nknee (p99 > 2x lowest-load p99): CPU at ");
+  if (cpu_knee > 0) std::printf("%.0f req/s", cpu_knee);
+  else std::printf("none in sweep");
+  std::printf(", GPU-TN at ");
+  if (gputn_knee > 0) std::printf("%.0f req/s", gputn_knee);
+  else std::printf("none in sweep");
+  std::printf("\nGPU-TN p99 advantage at %.0f req/s: %.2fx\n", loads.back(),
+              tail_advantage);
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"tenants\": " << base.tenants << ",\n"
+      << "  \"zipf\": " << base.zipf << ",\n"
+      << "  \"read_fraction\": " << base.read_fraction << ",\n"
+      << "  \"requests_per_tenant\": " << base.requests << ",\n"
+      << "  \"cpu_knee_rps\": " << cpu_knee << ",\n"
+      << "  \"gputn_knee_rps\": " << gputn_knee << ",\n"
+      << "  \"gputn_p99_advantage_at_peak\": " << tail_advantage << ",\n"
+      << "  \"cpu\": {\n    \"points\": [\n";
+  json_points(out, cpu);
+  out << "    ]\n  },\n  \"gputn\": {\n    \"points\": [\n";
+  json_points(out, gputn);
+  out << "    ]\n  }\n}\n";
+  if (!out.good()) {
+    std::fprintf(stderr, "fig_serve_tail: cannot write %s\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
+  return tail_advantage > 1.0 ? 0 : 1;
+}

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "cluster/config.hpp"
+#include "serve/serve.hpp"
 #include "workloads/allreduce.hpp"
 #include "workloads/broadcast.hpp"
 #include "workloads/jacobi.hpp"
@@ -128,6 +129,42 @@ Plan broadcast_plan(const std::vector<int>& node_counts, std::size_t bytes,
   return plan;
 }
 
+Plan serve_load_plan(const std::vector<double>& offered_loads,
+                     serve::ServeConfig base) {
+  Plan plan;
+  for (double load : offered_loads) {
+    for (Strategy s : {Strategy::kCpu, Strategy::kGpuTn}) {
+      serve::ServeConfig cfg = base;
+      cfg.strategy = s;
+      cfg.offered_load = load;
+      cfg.quiet = true;
+      char tag[32];
+      std::snprintf(tag, sizeof(tag), "%g", load);
+      plan.add("serve-load/" + std::string(tag) + "/" + strategy_name(s),
+               [cfg] { return serve::run_serve(cfg); });
+    }
+  }
+  return plan;
+}
+
+Plan serve_skew_plan(const std::vector<double>& skews,
+                     serve::ServeConfig base) {
+  Plan plan;
+  for (double skew : skews) {
+    for (Strategy s : {Strategy::kCpu, Strategy::kGpuTn}) {
+      serve::ServeConfig cfg = base;
+      cfg.strategy = s;
+      cfg.zipf = skew;
+      cfg.quiet = true;
+      char tag[32];
+      std::snprintf(tag, sizeof(tag), "%g", skew);
+      plan.add("serve-skew/" + std::string(tag) + "/" + strategy_name(s),
+               [cfg] { return serve::run_serve(cfg); });
+    }
+  }
+  return plan;
+}
+
 Plan mini_sweep_plan() {
   Plan plan;
   plan.append(fig09_plan({16, 32, 64}, /*iterations=*/5));
@@ -137,6 +174,15 @@ Plan mini_sweep_plan() {
   plan.append(
       fault_loss_plan({0.0, 0.01}, /*nodes=*/4, /*elements=*/32 * 1024));
   plan.append(broadcast_plan({4, 8}, /*bytes=*/256 * 1024, /*chunks=*/8));
+  {
+    serve::ServeConfig small;
+    small.tenants = 2;
+    small.window = 2;
+    small.requests = 64;
+    small.keyspace = 128;
+    small.read_fraction = 0.5;
+    plan.append(serve_load_plan({5e5, 2e6}, small));
+  }
   return plan;
 }
 

@@ -16,6 +16,9 @@
 //                        NIC-offloaded allgather}.
 //   fault_loss_plan:     one GPU-TN allreduce per loss rate.
 //   broadcast_plan:      for each node count, {HDN, GPU-TN, NIC-chain}.
+//   serve_load_plan:     for each offered load (req/s per tenant),
+//                        {CPU, GPU-TN}.
+//   serve_skew_plan:     for each Zipf skew, {CPU, GPU-TN}.
 #pragma once
 
 #include <cstddef>
@@ -24,6 +27,7 @@
 #include <vector>
 
 #include "exp/plan.hpp"
+#include "serve/serve.hpp"
 
 namespace gputn::exp {
 
@@ -51,6 +55,16 @@ Plan fault_loss_plan(const std::vector<double>& loss_rates, int nodes,
 /// Extension: pipelined ring broadcast, all three drives per node count.
 Plan broadcast_plan(const std::vector<int>& node_counts, std::size_t bytes,
                     int chunks);
+
+/// Serving: CPU-proxy vs GPU-TN response path per offered load (open-loop
+/// req/s per tenant). `base` carries the fixed knobs (tenants, mix, skew);
+/// its strategy/offered_load fields are overwritten per point.
+Plan serve_load_plan(const std::vector<double>& offered_loads,
+                     serve::ServeConfig base = {});
+
+/// Serving: CPU vs GPU-TN per Zipf skew at a fixed offered load.
+Plan serve_skew_plan(const std::vector<double>& skews,
+                     serve::ServeConfig base = {});
 
 /// The fig09 + fig10 + ablation mini-sweep: small-parameter versions of the
 /// plans above concatenated in a fixed order. This is the workload for

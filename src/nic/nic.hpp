@@ -17,6 +17,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <variant>
 
@@ -24,6 +25,7 @@
 #include "mem/dma.hpp"
 #include "mem/memory.hpp"
 #include "net/fabric.hpp"
+#include "nic/token_bucket.hpp"
 #include "obs/busy.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
@@ -54,6 +56,11 @@ struct NicConfig {
   /// needs none of it and must pay zero message overhead; the cluster turns
   /// it on automatically when fault injection is configured.
   fault::ReliabilityConfig reliability;
+  /// Token-bucket pacing of the command pipeline (multi-tenant NIC rate
+  /// limiting). Disabled by default (ops_per_sec == 0): commands are
+  /// admitted unconditionally and the limiter never suspends, so existing
+  /// workloads are bit-identical with or without this field existing.
+  TokenBucketConfig rate_limit;
 };
 
 /// Completion-queue entry: an alternative notification mechanism to
@@ -205,6 +212,10 @@ class Nic : public net::MessageSink {
   /// Commands currently waiting in the FIFO (time-series gauge).
   std::size_t cmd_queue_depth() const { return cmd_queue_.size(); }
 
+  /// The command-pipeline rate limiter, or nullptr when NicConfig left it
+  /// disabled.
+  const TokenBucket* rate_limiter() const { return rate_.get(); }
+
  private:
   enum MsgKind : std::uint32_t {
     kPut = 1,
@@ -281,6 +292,7 @@ class Nic : public net::MessageSink {
   std::deque<Command> doorbell_staging_;
   sim::Channel<QueuedCmd> cmd_queue_;
   obs::BusyTracker cmd_util_;
+  std::unique_ptr<TokenBucket> rate_;
   sim::Channel<net::Message> rx_queue_;
   mem::DmaEngine tx_dma_;
   mem::DmaEngine rx_dma_;

@@ -1,0 +1,40 @@
+#include "nic/qp.hpp"
+
+#include <utility>
+
+namespace gputn::nic {
+
+void Qp::post(Command cmd) {
+  ++posted_;
+  pending_.push_back(std::move(cmd));
+  if (static_cast<int>(pending_.size()) >= cfg_.batch_size) {
+    ++batch_flushes_;
+    flush();
+    return;
+  }
+  if (pending_.size() == 1 && cfg_.flush_timeout > 0) {
+    // First command of a partial batch: arm the flush timer. Later posts
+    // join this batch without re-arming, so the flush happens at most
+    // `flush_timeout` after the *oldest* pending command.
+    std::uint64_t gen = timer_gen_;
+    sim_->schedule_in(cfg_.flush_timeout, [this, gen] {
+      if (gen == timer_gen_ && !pending_.empty()) {
+        ++timeout_flushes_;
+        flush();
+      }
+    });
+  }
+}
+
+void Qp::flush() {
+  ++timer_gen_;  // cancel any armed timer
+  if (pending_.empty()) return;
+  ++doorbells_;
+  occupancy_.add(pending_.size());
+  for (auto& cmd : pending_) {
+    nic_->ring_doorbell(std::move(cmd));
+  }
+  pending_.clear();
+}
+
+}  // namespace gputn::nic

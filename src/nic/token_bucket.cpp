@@ -1,0 +1,46 @@
+#include "nic/token_bucket.hpp"
+
+namespace gputn::nic {
+
+TokenBucket::TokenBucket(sim::Simulator& sim, TokenBucketConfig cfg)
+    : sim_(&sim), burst_(cfg.burst < 1 ? 1 : cfg.burst) {
+  if (cfg.ops_per_sec > 0.0) {
+    double p = 1e12 / cfg.ops_per_sec;
+    period_ = p < 1.0 ? 1 : static_cast<sim::Tick>(p);
+  }
+  tokens_ = burst_;  // a fresh bucket is full: bursts up to `burst` pass
+}
+
+void TokenBucket::settle(sim::Tick now) {
+  if (tokens_ >= burst_) {
+    stamp_ = now;  // full bucket does not bank extra credit
+    return;
+  }
+  sim::Tick earned = (now - stamp_) / period_;
+  if (earned >= static_cast<sim::Tick>(burst_ - tokens_)) {
+    tokens_ = burst_;
+    stamp_ = now;
+  } else {
+    tokens_ += static_cast<int>(earned);
+    stamp_ += earned * period_;
+  }
+}
+
+sim::Task<> TokenBucket::acquire() {
+  ++admitted_;
+  if (!enabled()) co_return;
+  settle(sim_->now());
+  bool stalled = false;
+  while (tokens_ == 0) {
+    stalled = true;
+    sim::Tick t0 = sim_->now();
+    sim::Tick wait = stamp_ + period_ - t0;
+    co_await sim_->delay(wait > 0 ? wait : 1);
+    stalled_time_ += sim_->now() - t0;
+    settle(sim_->now());
+  }
+  if (stalled) ++stalls_;
+  --tokens_;
+}
+
+}  // namespace gputn::nic

@@ -119,6 +119,7 @@ PointReport point_from_stats(const json::Value& stats) {
         lr.p50_ns = num_or(h, "p50", 0.0);
         lr.p90_ns = num_or(h, "p90", 0.0);
         lr.p99_ns = num_or(h, "p99", 0.0);
+        lr.p999_ns = num_or(h, "p999", 0.0);
         lr.max_ns = num_or(h, "max", 0.0);
         pt.latency.push_back(std::move(lr));
       }
@@ -233,7 +234,7 @@ std::string render_report(const Report& rep, const ReportOptions& opt) {
     }
     if (!pt.latency.empty()) {
       out += "  latency stages (us)       count      mean       p50       "
-             "p90       p99       max\n";
+             "p90       p99      p999       max\n";
       for (const LatencyRow& l : pt.latency) {
         out += "  " + l.stage +
                std::string(l.stage.size() < 24 ? 24 - l.stage.size() : 1, ' ');
@@ -242,6 +243,7 @@ std::string render_report(const Report& rep, const ReportOptions& opt) {
         out += fmt("%10.3f", l.p50_ns / 1000.0);
         out += fmt("%10.3f", l.p90_ns / 1000.0);
         out += fmt("%10.3f", l.p99_ns / 1000.0);
+        out += fmt("%10.3f", l.p999_ns / 1000.0);
         out += fmt("%10.3f", l.max_ns / 1000.0);
         out += "\n";
       }
@@ -257,7 +259,7 @@ namespace {
 bool is_gated(const std::string& key) {
   if (key == "total_time_ps") return true;
   if (!starts_with(key, "histograms.lat.")) return false;
-  for (const char* s : {".mean", ".p50", ".p90", ".p99"}) {
+  for (const char* s : {".mean", ".p50", ".p90", ".p99", ".p999"}) {
     std::string suf = s;
     if (key.size() > suf.size() &&
         key.compare(key.size() - suf.size(), suf.size(), suf) == 0) {
@@ -313,12 +315,37 @@ Diff diff_reports(const Report& cur, const Report& base,
       }
       d.text += "\n";
     }
+    // One-sided lat.* metrics are printed explicitly instead of being
+    // silently folded into the summary count: a latency stage that exists
+    // on only one side of a diff is exactly the kind of apples-to-oranges
+    // comparison that must fail loudly. A *gated* lat.* metric the
+    // candidate lost counts as a regression; metrics that are new in the
+    // candidate (e.g. a newly exported quantile) do not.
     int only_cur = 0, only_base = 0;
     for (const auto& [key, cv] : c.metrics) {
-      if (b->metrics.find(key) == b->metrics.end()) ++only_cur;
+      if (b->metrics.find(key) != b->metrics.end()) continue;
+      if (starts_with(key, "histograms.lat.")) {
+        d.text += "  " + key +
+                  std::string(key.size() < 40 ? 40 - key.size() : 1, ' ') +
+                  "(metric absent) ->" + fmt("%14.3f", cv) + "\n";
+      } else {
+        ++only_cur;
+      }
     }
     for (const auto& [key, bv] : b->metrics) {
-      if (c.metrics.find(key) == c.metrics.end()) ++only_base;
+      if (c.metrics.find(key) != c.metrics.end()) continue;
+      if (starts_with(key, "histograms.lat.")) {
+        d.text += "  " + key +
+                  std::string(key.size() < 40 ? 40 - key.size() : 1, ' ') +
+                  fmt("%14.3f", bv) + " -> (metric absent)";
+        if (is_gated(key)) {
+          ++d.regressions;
+          d.text += "  REGRESSION (lost metric)";
+        }
+        d.text += "\n";
+      } else {
+        ++only_base;
+      }
     }
     if (changed == 0) d.text += "  no metric deltas\n";
     if (only_cur > 0 || only_base > 0) {

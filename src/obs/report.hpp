@@ -10,8 +10,11 @@
 //   * the latency decomposition summary from the lat.* stage histograms.
 // Two reports can be diffed metric-by-metric; regressions past a
 // configurable threshold on the gated metrics (total_time_ps and lat.*
-// mean/p50/p90/p99) make the diff "failing", which is what lets
+// mean/p50/p90/p99/p999) make the diff "failing", which is what lets
 // `gputn report NEW.json --baseline OLD.json` act as a CI perf gate.
+// lat.* metrics present on only one side are printed as "(metric absent)"
+// rows; a gated lat.* metric the candidate *lost* counts as a regression
+// (new metrics appearing only in the candidate do not).
 //
 // The functions are pure (string -> struct -> string) so tests can pin the
 // rendered output exactly; all formatting is fixed-width and deterministic.
@@ -63,6 +66,7 @@ struct LatencyRow {
   double p50_ns = 0.0;
   double p90_ns = 0.0;
   double p99_ns = 0.0;
+  double p999_ns = 0.0;
   double max_ns = 0.0;
 };
 

@@ -1,0 +1,98 @@
+#include "serve/slo.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace gputn::serve {
+
+namespace {
+
+std::string fmt(const char* spec, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+}  // namespace
+
+SloReporter::SloReporter(int tenants, sim::Tick slo) : slo_(slo) {
+  if (tenants <= 0) throw std::invalid_argument("slo: tenants must be > 0");
+  per_tenant_.resize(static_cast<std::size_t>(tenants));
+}
+
+void SloReporter::record(int tenant, sim::Tick latency, bool is_get,
+                         std::uint64_t bytes) {
+  auto& t = per_tenant_.at(static_cast<std::size_t>(tenant));
+  auto ns = static_cast<std::uint64_t>(latency / 1000);
+  t.lat_ns.add(ns);
+  (is_get ? get_ns_ : put_ns_).add(ns);
+  (is_get ? t.gets : t.puts) += 1;
+  t.bytes += bytes;
+  ++total_ops_;
+  if (slo_ <= 0 || latency <= slo_) {
+    ++t.slo_ok;
+    ++total_slo_ok_;
+  }
+}
+
+TenantSummary SloReporter::summary(int tenant) const {
+  const auto& t = per_tenant_.at(static_cast<std::size_t>(tenant));
+  TenantSummary s;
+  s.tenant = tenant;
+  s.ops = t.gets + t.puts;
+  s.gets = t.gets;
+  s.puts = t.puts;
+  s.slo_ok = t.slo_ok;
+  s.bytes = t.bytes;
+  s.p50_ns = t.lat_ns.quantile(0.5);
+  s.p99_ns = t.lat_ns.quantile(0.99);
+  s.p999_ns = t.lat_ns.quantile(0.999);
+  s.max_ns = t.lat_ns.max();
+  return s;
+}
+
+std::vector<TenantSummary> SloReporter::summaries() const {
+  std::vector<TenantSummary> out;
+  out.reserve(per_tenant_.size());
+  for (int i = 0; i < tenants(); ++i) out.push_back(summary(i));
+  return out;
+}
+
+void SloReporter::export_into(sim::StatRegistry& out) const {
+  for (int i = 0; i < tenants(); ++i) {
+    const auto& t = per_tenant_[static_cast<std::size_t>(i)];
+    std::string base = "serve.t" + std::to_string(i);
+    out.histogram("lat." + base).merge(t.lat_ns);
+    out.counter(base + ".ops") = t.gets + t.puts;
+    out.counter(base + ".slo_ok") = t.slo_ok;
+    out.counter(base + ".bytes") = t.bytes;
+  }
+  if (get_ns_.count() > 0) out.histogram("lat.serve.get").merge(get_ns_);
+  if (put_ns_.count() > 0) out.histogram("lat.serve.put").merge(put_ns_);
+  out.counter("serve.ops") = total_ops_;
+  out.counter("serve.slo_ok") = total_slo_ok_;
+}
+
+std::string SloReporter::table(sim::Tick window) const {
+  std::string out;
+  out += "  tenant       ops   p50 us   p99 us  p999 us  slo_ok   goodput/s\n";
+  for (int i = 0; i < tenants(); ++i) {
+    TenantSummary s = summary(i);
+    double hit = s.ops > 0 ? 100.0 * static_cast<double>(s.slo_ok) /
+                                 static_cast<double>(s.ops)
+                           : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  t%-5d %9llu %8s %8s %8s %6s%% %11s\n", i,
+                  static_cast<unsigned long long>(s.ops),
+                  fmt("%.2f", s.p50_ns / 1000.0).c_str(),
+                  fmt("%.2f", s.p99_ns / 1000.0).c_str(),
+                  fmt("%.2f", s.p999_ns / 1000.0).c_str(),
+                  fmt("%.1f", hit).c_str(),
+                  fmt("%.0f", s.goodput_rps(window)).c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace gputn::serve

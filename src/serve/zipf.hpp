@@ -1,0 +1,60 @@
+// Bounded Zipf(s) sampler over {0, ..., n-1} for key popularity.
+//
+// Serving traffic is never uniform: a small set of hot keys absorbs most
+// requests (the classic YCSB/production-trace shape), and that skew is what
+// concentrates load on one shard's NIC. The sampler precomputes the CDF of
+// p(k) ~ 1 / (k+1)^s once and inverts it by binary search, so sampling is
+// a pure function of one uniform draw — the caller owns the RNG, which
+// keeps request schedules reproducible from a single seed (the
+// `rdma-dm-sim` WorkloadRunner convention: `key = zipf(U(rng))`).
+//
+// skew == 0 degenerates to the uniform distribution; rank 0 is the hottest
+// key. Memory is 8 bytes per key, fine for the simulated keyspaces here.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace gputn::serve {
+
+class Zipf {
+ public:
+  Zipf(std::uint64_t n, double skew) : n_(n), skew_(skew) {
+    if (n == 0) throw std::invalid_argument("zipf: empty keyspace");
+    if (skew < 0.0) throw std::invalid_argument("zipf: negative skew");
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+      cdf_[k] = sum;
+    }
+    for (std::uint64_t k = 0; k < n; ++k) cdf_[k] /= sum;
+    cdf_[n - 1] = 1.0;  // guard against rounding: u < 1 always lands
+  }
+
+  std::uint64_t keyspace() const { return n_; }
+  double skew() const { return skew_; }
+
+  /// Map one uniform draw u in [0, 1) to a key; rank 0 is hottest.
+  std::uint64_t sample(double u) const {
+    auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) --it;
+    return static_cast<std::uint64_t>(it - cdf_.begin());
+  }
+
+  /// Probability mass of key k (for empirical-skew checks in tests).
+  double pmf(std::uint64_t k) const {
+    if (k >= n_) return 0.0;
+    return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+  }
+
+ private:
+  std::uint64_t n_;
+  double skew_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace gputn::serve

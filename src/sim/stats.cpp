@@ -53,10 +53,10 @@ std::string StatRegistry::to_string() const {
   for (const auto& [name, h] : histos_) {
     std::snprintf(buf, sizeof(buf),
                   "%s: n=%llu mean=%.3f p50=%.3f p90=%.3f p99=%.3f "
-                  "max=%.3f\n",
+                  "p999=%.3f max=%.3f\n",
                   name.c_str(), static_cast<unsigned long long>(h.count()),
                   h.mean(), h.quantile(0.50), h.quantile(0.90),
-                  h.quantile(0.99), h.max());
+                  h.quantile(0.99), h.quantile(0.999), h.max());
     out += buf;
   }
   return out;
@@ -114,7 +114,8 @@ std::string stats_json(const StatRegistry& reg) {
            ", \"max\": " + fmt_num(h.max()) +
            ", \"p50\": " + fmt_num(h.quantile(0.50)) +
            ", \"p90\": " + fmt_num(h.quantile(0.90)) +
-           ", \"p99\": " + fmt_num(h.quantile(0.99)) + ", \"buckets\": [";
+           ", \"p99\": " + fmt_num(h.quantile(0.99)) +
+           ", \"p999\": " + fmt_num(h.quantile(0.999)) + ", \"buckets\": [";
     for (int b = 0; b < h.num_buckets(); ++b) {
       if (b > 0) out += ", ";
       out += fmt_u64(h.bucket_count(b));

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "serve/serve.hpp"
 #include "workloads/allreduce.hpp"
 #include "workloads/broadcast.hpp"
 #include "workloads/jacobi.hpp"
@@ -184,6 +185,37 @@ ResultBase run_broadcast_entry(const RunOptions& opts, const WorkloadParams& p,
   return res;
 }
 
+ResultBase run_serve_entry(const RunOptions& opts, const WorkloadParams& p,
+                           const cluster::SystemConfig& sys) {
+  serve::ServeConfig cfg = make_config<serve::ServeConfig>(opts, p);
+  cfg.clients = static_cast<int>(p.get_int("clients", cfg.clients, 1, 64));
+  cfg.servers = static_cast<int>(p.get_int("servers", cfg.servers, 1, 64));
+  cfg.tenants = static_cast<int>(p.get_int("tenants", cfg.tenants, 1, 256));
+  cfg.window = static_cast<int>(p.get_int("window", cfg.window, 1, 64));
+  cfg.keyspace = static_cast<std::uint64_t>(
+      p.get_int("keys", static_cast<long>(cfg.keyspace), 1, 1 << 22));
+  cfg.zipf = p.get_double("zipf", cfg.zipf, 0.0, 4.0);
+  cfg.read_fraction = p.get_double("rw-mix", cfg.read_fraction, 0.0, 1.0);
+  cfg.offered_load =
+      p.get_double("offered-load", cfg.offered_load, 1.0, 1e12);
+  cfg.requests =
+      static_cast<int>(p.get_int("requests", cfg.requests, 1, 1 << 22));
+  cfg.value_bytes = static_cast<std::uint64_t>(
+      p.get_int("value-bytes", static_cast<long>(cfg.value_bytes), 16,
+                1 << 20));
+  cfg.slo = sim::us(p.get_double("slo-us", sim::to_us(cfg.slo), 0.0, 1e9));
+  cfg.request_compute = sim::ns(p.get_double(
+      "compute-ns", static_cast<double>(cfg.request_compute) / 1000.0, 0.0,
+      1e9));
+  cfg.qp_batch = static_cast<int>(p.get_int("batch", cfg.qp_batch, 1, 1024));
+  cfg.nic_rate_limit =
+      p.get_double("rate-limit", cfg.nic_rate_limit, 0.0, 1e12);
+  cfg.seed = static_cast<std::uint64_t>(
+      p.get_int("seed", static_cast<long>(cfg.seed), 0, 1L << 62));
+  serve::ServeResult res = run_serve(cfg, sys);
+  return res;
+}
+
 }  // namespace
 
 void register_builtin_workloads(Registry& reg) {
@@ -198,6 +230,11 @@ void register_builtin_workloads(Registry& reg) {
   reg.add({"broadcast", "pipelined ring broadcast / NIC trigger chains",
            "--drive HDN|GPU-TN|NIC-chain --nodes <n> --mb <size> --chunks <c>",
            run_broadcast_entry});
+  reg.add({"serve",
+           "Zipf-skewed multi-tenant KV serving with tail-latency SLOs",
+           "--strategy CPU|GPU-TN --clients <n> --servers <m> --tenants <t> "
+           "--zipf <s> --rw-mix <r> --offered-load <rps> --slo-us <us>",
+           run_serve_entry});
 }
 
 }  // namespace gputn::workloads

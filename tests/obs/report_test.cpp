@@ -31,7 +31,8 @@ const char* kStatsFixture = R"({
   "histograms": {
     "util.linkA.qdepth": {"count": 10, "p99": 3.0},
     "lat.wire": {"count": 4, "mean": 2000.0, "p50": 1500.0,
-                 "p90": 3000.0, "p99": 3500.0, "max": 4000.0}
+                 "p90": 3000.0, "p99": 3500.0, "p999": 3800.0,
+                 "max": 4000.0}
   }
 })";
 
@@ -66,9 +67,9 @@ TEST(Report, RendersAttributionTableExactly) {
       "  cpu                       5.0          5           -       -       "
       "-\n"
       "  latency stages (us)       count      mean       p50       p90      "
-      " p99       max\n"
+      " p99      p999       max\n"
       "  wire                            4     2.000     1.500     3.000    "
-      " 3.500     4.000\n";
+      " 3.500     3.800     4.000\n";
   EXPECT_EQ(got, expected);
 }
 
@@ -141,6 +142,43 @@ TEST(Report, DiffPassesWithinThresholdAndOnImprovement) {
   ReportOptions loose;
   loose.threshold_pct = 25.0;
   EXPECT_EQ(diff_reports(s, b, loose).regressions, 0);
+}
+
+TEST(Report, DiffPrintsAbsentLatencyMetricsLoudly) {
+  // The baseline has a latency stage the candidate lost, and the candidate
+  // has one the baseline predates. Both must be printed as "(metric
+  // absent)" rows; only the *lost* gated metric gates the diff.
+  const char* base = R"({
+    "counters": {"util.window_ps": 100},
+    "histograms": {"lat.old_stage": {"count": 2, "p99": 5.0}}
+  })";
+  const char* cur = R"({
+    "counters": {"util.window_ps": 100},
+    "histograms": {"lat.new_stage": {"count": 2, "p99": 7.0}}
+  })";
+  Report b = parse_report(base, "base.json");
+  Report c = parse_report(cur, "cur.json");
+  Diff d = diff_reports(c, b, ReportOptions{});
+  auto pad = [](const std::string& key) {
+    return "  " + key + std::string(key.size() < 40 ? 40 - key.size() : 1, ' ');
+  };
+  // Lost stage: printed, and its gated p99 counts as a regression.
+  EXPECT_NE(d.text.find(pad("histograms.lat.old_stage.p99") +
+                        "         5.000 -> (metric absent)"
+                        "  REGRESSION (lost metric)\n"),
+            std::string::npos)
+      << d.text;
+  // Non-gated leaves of the lost stage are printed but do not gate.
+  EXPECT_NE(d.text.find(pad("histograms.lat.old_stage.count") +
+                        "         2.000 -> (metric absent)\n"),
+            std::string::npos)
+      << d.text;
+  // New stage: printed, not gated.
+  EXPECT_NE(d.text.find(pad("histograms.lat.new_stage.p99") +
+                        "(metric absent) ->         7.000\n"),
+            std::string::npos)
+      << d.text;
+  EXPECT_EQ(d.regressions, 1) << d.text;
 }
 
 TEST(Report, MalformedInputThrows) {

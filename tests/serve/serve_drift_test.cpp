@@ -1,0 +1,75 @@
+// Zero-drift guard for the serving workload: observability (tracing,
+// time-series sampling) and execution parallelism (exp::Runner --jobs) must
+// never perturb simulated results. Every counter, timestamp, and histogram
+// bucket must be bit-identical.
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+#include "exp/sweeps.hpp"
+#include "obs/timeseries.hpp"
+#include "serve/serve.hpp"
+#include "sim/trace.hpp"
+#include "workloads/strategy.hpp"
+
+namespace gputn::serve {
+namespace {
+
+using workloads::Strategy;
+
+ServeConfig drift_config(Strategy s) {
+  ServeConfig cfg;
+  cfg.strategy = s;
+  cfg.quiet = true;
+  cfg.tenants = 2;
+  cfg.window = 2;
+  cfg.requests = 60;
+  cfg.keyspace = 64;
+  cfg.read_fraction = 0.5;
+  cfg.offered_load = 2e6;
+  return cfg;
+}
+
+TEST(ServeDrift, TracingAndTimeseriesAreBitIdenticalToPlainRun) {
+  for (Strategy s : {Strategy::kCpu, Strategy::kGpuTn}) {
+    ServeResult plain = run_serve(drift_config(s));
+
+    ServeConfig traced_cfg = drift_config(s);
+    sim::TraceRecorder rec;
+    traced_cfg.trace = &rec;
+    ServeResult traced = run_serve(traced_cfg);
+    EXPECT_GT(rec.event_count(), 0u);
+
+    ServeConfig sampled_cfg = drift_config(s);
+    obs::TimeSeries ts(sim::us(1));
+    sampled_cfg.timeseries = &ts;
+    ServeResult sampled = run_serve(sampled_cfg);
+    EXPECT_GT(ts.rows(), 0u);
+
+    EXPECT_EQ(plain.total_time, traced.total_time)
+        << workloads::strategy_name(s);
+    EXPECT_EQ(plain.total_time, sampled.total_time)
+        << workloads::strategy_name(s);
+    EXPECT_EQ(plain.stats_json(), traced.stats_json());
+    EXPECT_EQ(plain.stats_json(), sampled.stats_json());
+  }
+}
+
+TEST(ServeDrift, SweepPlanBitIdenticalAcrossJobs) {
+  ServeConfig base;
+  base.tenants = 2;
+  base.window = 2;
+  base.requests = 48;
+  base.keyspace = 64;
+  base.read_fraction = 0.5;
+  auto plan = [&] { return exp::serve_load_plan({1e6, 3e6}, base); };
+
+  exp::RunSummary s1 = exp::Runner(1).run(plan());
+  exp::RunSummary s2 = exp::Runner(2).run(plan());
+  ASSERT_EQ(s1.failures, 0u);
+  EXPECT_TRUE(s1.all_correct());
+  EXPECT_EQ(exp::results_json(s1), exp::results_json(s2));
+  EXPECT_EQ(s1.results.size(), 4u);  // 2 loads x {CPU, GPU-TN}
+}
+
+}  // namespace
+}  // namespace gputn::serve

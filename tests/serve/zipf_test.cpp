@@ -1,0 +1,78 @@
+// Zipf key sampler: determinism and empirical skew.
+#include "serve/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace gputn::serve {
+namespace {
+
+TEST(Zipf, RejectsDegenerateParameters) {
+  EXPECT_THROW(Zipf(0, 0.99), std::invalid_argument);
+  EXPECT_THROW(Zipf(16, -0.5), std::invalid_argument);
+}
+
+TEST(Zipf, SameSeedSameKeys_DifferentSeedDiverges) {
+  Zipf z(4096, 0.99);
+  auto draw = [&](std::uint64_t seed) {
+    sim::Rng rng(seed);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 512; ++i) keys.push_back(z.sample(rng.uniform()));
+    return keys;
+  };
+  EXPECT_EQ(draw(7), draw(7));
+  EXPECT_NE(draw(7), draw(8));
+}
+
+TEST(Zipf, PmfSumsToOneAndRanksDecrease) {
+  Zipf z(1000, 1.1);
+  double sum = 0.0;
+  for (std::uint64_t k = 0; k < 1000; ++k) sum += z.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(z.pmf(0), z.pmf(1));
+  EXPECT_GT(z.pmf(1), z.pmf(10));
+  EXPECT_GT(z.pmf(10), z.pmf(999));
+  EXPECT_EQ(z.pmf(1000), 0.0);  // out of range
+}
+
+TEST(Zipf, EmpiricalSkewMatchesTheory) {
+  // At s = 0.99 over 1024 keys the hottest key carries ~13% of the mass
+  // and the top-16 around 44%; a uniform sampler would give 1/1024 each.
+  Zipf z(1024, 0.99);
+  sim::Rng rng(42);
+  std::vector<std::uint64_t> counts(1024, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[z.sample(rng.uniform())];
+
+  double hottest = static_cast<double>(counts[0]) / kDraws;
+  EXPECT_NEAR(hottest, z.pmf(0), 0.01);
+  EXPECT_GT(hottest, 0.08);
+
+  std::uint64_t top16 = 0;
+  double theory16 = 0.0;
+  for (int k = 0; k < 16; ++k) {
+    top16 += counts[k];
+    theory16 += z.pmf(static_cast<std::uint64_t>(k));
+  }
+  double empirical16 = static_cast<double>(top16) / kDraws;
+  EXPECT_NEAR(empirical16, theory16, 0.02);
+  EXPECT_GT(empirical16, 0.35);  // uniform would give 16/1024 ~ 1.6%
+}
+
+TEST(Zipf, ZeroSkewIsUniform) {
+  Zipf z(64, 0.0);
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    EXPECT_NEAR(z.pmf(k), 1.0 / 64.0, 1e-12);
+  }
+  // The inverse CDF maps u directly: u in [k/64, (k+1)/64) -> key k.
+  EXPECT_EQ(z.sample(0.0), 0u);
+  EXPECT_EQ(z.sample(0.5), 32u);
+  EXPECT_EQ(z.sample(0.999), 63u);
+}
+
+}  // namespace
+}  // namespace gputn::serve

@@ -94,6 +94,30 @@ TEST(Histogram, SingleSampleQuantileIsTheSample) {
   EXPECT_DOUBLE_EQ(h.quantile(0.99), 7.0);
 }
 
+TEST(Histogram, P999SingleBucketAndClampEdgeCases) {
+  // Single-bucket stream: every sample is 10, so the extreme tail quantile
+  // must clamp to the constant (the bucket [8,16) would otherwise let
+  // interpolation report ~16 for q -> 1).
+  Histogram constant;
+  for (int i = 0; i < 2000; ++i) constant.add(10);
+  EXPECT_DOUBLE_EQ(constant.quantile(0.999), 10.0);
+
+  // One sample: p999 is that sample, like every other quantile.
+  Histogram lone;
+  lone.add(7);
+  EXPECT_DOUBLE_EQ(lone.quantile(0.999), 7.0);
+
+  // Clamp: p999 can never exceed the observed max, and the tail ordering
+  // p99 <= p999 <= max must hold on a skewed stream whose covering bucket
+  // edge (2048) lies above the observed max.
+  Histogram skewed;
+  for (std::uint64_t v = 1; v <= 1000; ++v) skewed.add(v);
+  skewed.add(1500);  // bucket [1024, 2048), max well under the edge
+  EXPECT_LE(skewed.quantile(0.99), skewed.quantile(0.999));
+  EXPECT_LE(skewed.quantile(0.999), skewed.max());
+  EXPECT_DOUBLE_EQ(skewed.max(), 1500.0);
+}
+
 TEST(Histogram, AllZeroSamplesQuantileIsZero) {
   Histogram h;
   for (int i = 0; i < 10; ++i) h.add(0);
