@@ -23,6 +23,8 @@
 
 #include "exp/runner.hpp"
 #include "exp/sweeps.hpp"
+#include "obs/critical.hpp"
+#include "obs/flight.hpp"
 #include "serve/serve.hpp"
 #include "sim/stats.hpp"
 
@@ -114,6 +116,61 @@ void json_points(std::ofstream& out, const std::vector<Point>& pts) {
   }
 }
 
+/// Put-path blame at one load: rerun one point with a flight recorder
+/// attached (recording is zero-drift, so the tails match the sweep's) and
+/// pull the put path's heaviest categories out of `gputn analyze`'s tables.
+struct BlamePoint {
+  const char* strategy = "";
+  double put_p999_ns = 0.0;
+  double server_proc_share_pct = 0.0;
+  double server_proc_p999_ns = 0.0;
+  std::vector<obs::CategoryRow> rows;
+};
+
+BlamePoint blame_at(double load, workloads::Strategy strat,
+                    const char* name, const serve::ServeConfig& base) {
+  obs::FlightRecorder rec{obs::FlightConfig{}};
+  serve::ServeConfig cfg = base;
+  cfg.strategy = strat;
+  cfg.offered_load = load;
+  cfg.flight = &rec;
+  serve::ServeResult res = serve::run_serve(cfg);
+  if (!res.correct) {
+    std::fprintf(stderr, "fig_serve_tail: blame run %s failed\n", name);
+    std::exit(1);
+  }
+  obs::Analysis a = obs::analyze_flight(rec.json(), name);
+  BlamePoint bp;
+  bp.strategy = name;
+  for (const obs::PathTable& t : a.runs[0].paths) {
+    if (t.path != "put") continue;
+    bp.put_p999_ns = t.latency.quantile(0.999);
+    bp.rows = t.rows;
+    for (const obs::CategoryRow& r : t.rows) {
+      if (r.category == "server_proc") {
+        bp.server_proc_share_pct = r.share_pct;
+        bp.server_proc_p999_ns = r.p999_ns;
+      }
+    }
+  }
+  return bp;
+}
+
+void json_blame(std::ofstream& out, const BlamePoint& bp) {
+  out << "      {\"strategy\": \"" << bp.strategy
+      << "\", \"put_p999_ns\": " << bp.put_p999_ns
+      << ", \"server_proc_share_pct\": " << bp.server_proc_share_pct
+      << ", \"server_proc_p999_ns\": " << bp.server_proc_p999_ns
+      << ", \"categories\": [";
+  for (std::size_t i = 0; i < bp.rows.size(); ++i) {
+    const obs::CategoryRow& r = bp.rows[i];
+    out << (i ? ", " : "") << "{\"category\": \"" << r.category
+        << "\", \"share_pct\": " << r.share_pct
+        << ", \"p999_ns\": " << r.p999_ns << "}";
+  }
+  out << "]}";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -174,6 +231,23 @@ int main(int argc, char** argv) {
   std::printf("\nGPU-TN p99 advantage at %.0f req/s: %.2fx\n", loads.back(),
               tail_advantage);
 
+  // Where does the put tail go at peak load? Blame attribution from the
+  // flight recorder: the CPU proxy's put p999 should sit in server_proc
+  // (host scan + post), GPU-TN's should not.
+  BlamePoint cpu_blame = blame_at(loads.back(), workloads::Strategy::kCpu,
+                                  "CPU", base);
+  BlamePoint gputn_blame = blame_at(loads.back(),
+                                    workloads::Strategy::kGpuTn, "GPU-TN",
+                                    base);
+  std::printf("\nput-path blame at %.0f req/s (share of path time):\n",
+              loads.back());
+  for (const BlamePoint* bp : {&cpu_blame, &gputn_blame}) {
+    std::printf("%10s  put p999 %8.2f us  server_proc %5.1f%% "
+                "(p999 %.2f us)\n",
+                bp->strategy, bp->put_p999_ns / 1e3,
+                bp->server_proc_share_pct, bp->server_proc_p999_ns / 1e3);
+  }
+
   std::ofstream out(out_path);
   out << "{\n"
       << "  \"tenants\": " << base.tenants << ",\n"
@@ -187,7 +261,11 @@ int main(int argc, char** argv) {
   json_points(out, cpu);
   out << "    ]\n  },\n  \"gputn\": {\n    \"points\": [\n";
   json_points(out, gputn);
-  out << "    ]\n  }\n}\n";
+  out << "    ]\n  },\n  \"blame_at_peak\": {\n    \"points\": [\n";
+  json_blame(out, cpu_blame);
+  out << ",\n";
+  json_blame(out, gputn_blame);
+  out << "\n    ]\n  }\n}\n";
   if (!out.good()) {
     std::fprintf(stderr, "fig_serve_tail: cannot write %s\n", out_path);
     return 1;

@@ -19,6 +19,7 @@
 #include "sim/trace.hpp"
 
 namespace gputn::obs {
+class FlightRecorder;
 class TimeSeries;
 }  // namespace gputn::obs
 
@@ -86,6 +87,12 @@ class Cluster {
   /// event advances now() past the last workload event, and the exported
   /// stats must be bit-identical with and without sampling.
   void export_net_stats(sim::StatRegistry& out, sim::Tick window = -1) const;
+
+  /// Attach a per-op flight recorder to every node's NIC and embed the
+  /// fabric's wire parameters in it (the analyzer needs them to split wire
+  /// serialization from switch queueing). The recorder must outlive the
+  /// run. Recording never perturbs timing or counters.
+  void attach_flight(obs::FlightRecorder& flight);
 
   /// Register this cluster's standard time-series probes on `ts` (per-link
   /// bytes per interval, per-node NIC command queue depth, unacked

@@ -48,6 +48,10 @@ void ReliabilityLayer::send(net::Message&& msg) {
   Outstanding out;
   out.rto = rto_for(msg);
   out.deadline = sim_->now() + out.rto;
+  // First wire hand-off is this very tick (fabric_->send below runs in the
+  // same call). Stamped here, before the window copy, so retransmitted
+  // copies still carry the original first-wire time.
+  if (msg.t_wire_first < 0) msg.t_wire_first = sim_->now();
   // Full copy kept for retransmission, staged in a pooled buffer.
   out.msg = pooled_copy(fabric_->payload_pool(), msg);
   bool was_empty = tx.window.empty();
@@ -86,6 +90,9 @@ void ReliabilityLayer::retransmit_head(net::NodeId peer, PeerTx& tx,
         "pathological fault configuration");
   }
   ++stats_->counter("rel.retransmits");
+  // The window copy is the template for every resend: bumping it here means
+  // the copy that finally lands reports how many wire attempts preceded it.
+  ++head.msg.retransmits;
   stats_->accumulator("rel.timeout_us").add(sim::to_us(head.rto));
   head.rto = std::min<sim::Tick>(
       static_cast<sim::Tick>(static_cast<double>(head.rto) * config_.backoff),

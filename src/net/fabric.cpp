@@ -21,6 +21,7 @@ NodeId Fabric::add_node(MessageSink* sink) {
         if (--flight->packets_remaining == 0) {
           flight->msg.corrupted = flight->corrupted;
           flight->msg.t_rx = sim_->now();
+          flight->msg.t_switch = flight->t_switch;
           if (trace_ != nullptr && flight->msg.flow != 0 &&
               flight->msg.t_wire >= 0) {
             // One span per message (not per packet) covering its whole
@@ -98,9 +99,12 @@ void Fabric::send(Message&& msg) {
   // Observability stamps. NICs stamp `flow` at first tx; anything else that
   // reaches the wire (ACK/NACK control traffic, direct fabric users) gets a
   // fallback id here. t_wire is re-stamped per wire copy, so a retransmit
-  // measures its own wire time.
+  // measures its own wire time; t_wire_first survives retransmission (the
+  // reliability layer pre-stamps it on the window copy), so the spread
+  // between the two is the total retransmission delay.
   if (msg.flow == 0) msg.flow = next_flow();
   msg.t_wire = sim_->now();
+  if (msg.t_wire_first < 0) msg.t_wire_first = msg.t_wire;
   ++messages_;
   std::uint64_t wire = config_.header_bytes + msg.payload_bytes();
   bytes_ += wire;

@@ -39,7 +39,9 @@ struct MessageInFlight {
   /// Latched when fault injection corrupts any packet; copied into
   /// Message::corrupted on delivery.
   bool corrupted = false;
-  /// First packet's arrival at the switch (tracing only; -1 until then).
+  /// First packet's arrival at the switch (-1 until then); copied into
+  /// Message::t_switch on delivery so the flight recorder can split wire
+  /// serialization from switch queueing.
   std::int64_t t_switch = -1;
 };
 

@@ -57,13 +57,30 @@ struct Message {
   /// Retransmitted copies keep the original id so a trace groups every
   /// wire attempt of one logical message under one flow.
   std::uint64_t flow = 0;
+  /// Logical-operation pairing tag (0 = unpaired). A request and its
+  /// response carry the same tag, so the flight recorder can stitch the two
+  /// one-way messages into one round-trip op (serve put request/response,
+  /// get request/reply). Copied from the issuing command descriptor.
+  std::uint64_t op_tag = 0;
+  /// Tenant the operation belongs to (-1 = untenanted traffic).
+  std::int32_t tenant = -1;
+  /// Wire copies beyond the first for this logical message. Bumped on the
+  /// retransmission-window copy before each resend, so the copy that is
+  /// finally accepted reports how many extra wire attempts it cost.
+  std::uint32_t retransmits = 0;
   /// Per-stage timestamps in simulator ticks (picoseconds); -1 marks a
   /// stage that did not occur for this message. Pure bookkeeping: stamping
   /// never schedules events or adds delay, so latency accounting cannot
   /// perturb simulated time.
   std::int64_t t_trigger = -1;  ///< GPU trigger store reached the NIC
+  std::int64_t t_post = -1;     ///< command posted to a software queue (Qp)
+  std::int64_t t_ring = -1;     ///< doorbell rung (batch flush instant)
   std::int64_t t_cmd = -1;      ///< command entered the NIC command queue
+  std::int64_t t_pop = -1;      ///< command left the queue (TX engine pop)
+  std::int64_t t_admit = -1;    ///< token bucket admitted (== t_pop unpaced)
   std::int64_t t_wire = -1;     ///< handed to the fabric (fresh per retransmit)
+  std::int64_t t_wire_first = -1;  ///< first fabric hand-off (kept on retx)
+  std::int64_t t_switch = -1;   ///< first packet reached the switch
   std::int64_t t_rx = -1;       ///< last packet left the destination downlink
 
   std::vector<std::byte> payload;

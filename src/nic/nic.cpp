@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/flight.hpp"
+
 namespace gputn::nic {
 
 Nic::Nic(sim::Simulator& sim, mem::Memory& memory, net::Fabric& fabric,
@@ -29,17 +31,27 @@ Nic::Nic(sim::Simulator& sim, mem::Memory& memory, net::Fabric& fabric,
 }
 
 void Nic::ring_doorbell(Command cmd) {
+  // A direct ring is post and flush in one: posted == rung.
+  ring_doorbell(std::move(cmd), sim_->now());
+}
+
+void Nic::ring_doorbell(Command cmd, sim::Tick posted) {
   ++stats_.counter("doorbells");
   // Stage the command and schedule a [this]-only event rather than moving
   // the (large) Command variant through the queue: the doorbell latency is
   // constant, so pop-front order equals ring order, and the event always
   // fits EventFn's inline storage.
-  doorbell_staging_.push_back(std::move(cmd));
+  QueuedCmd qc;
+  qc.cmd = std::move(cmd);
+  qc.posted = posted;
+  qc.rung = sim_->now();
+  doorbell_staging_.push_back(std::move(qc));
   sim_->schedule_in(config_.doorbell_latency, [this] {
     cmd_util_.enqueue(sim_->now());
-    cmd_queue_.push(QueuedCmd{std::move(doorbell_staging_.front()),
-                              sim_->now(), -1, false});
+    QueuedCmd front = std::move(doorbell_staging_.front());
     doorbell_staging_.pop_front();
+    front.enqueued = sim_->now();
+    cmd_queue_.push(std::move(front));
   });
 }
 
@@ -62,6 +74,12 @@ void Nic::stamp_tx(net::Message& msg, sim::Tick t_cmd, sim::Tick t_trigger,
   msg.t_trigger = t_trigger;
   if (trace_ == nullptr) return;
   std::string args = net::flow_args(msg);
+  if (msg.t_post >= 0 && msg.t_ring > msg.t_post) {
+    // Satellite view of Qp batching: how long this op waited in the
+    // software queue before its batch's doorbell was rung.
+    trace_->span(trace_lane_, "qp:batch-wait", "nic", msg.t_post, msg.t_ring,
+                 args);
+  }
   if (t_trigger >= 0 && trigger_mmio && !gpu_lane_.empty()) {
     // Triggered by a GPU store: the flow starts inside the kernel's span
     // on the gpu lane, steps through the trigger unit's match span, then
@@ -84,6 +102,14 @@ void Nic::stamp_tx(net::Message& msg, sim::Tick t_cmd, sim::Tick t_trigger,
   }
 }
 
+void Nic::stamp_tx(net::Message& msg, const QueuedCmd& qc) {
+  msg.t_post = qc.posted;
+  msg.t_ring = qc.rung;
+  msg.t_pop = qc.popped;
+  msg.t_admit = qc.admitted;
+  stamp_tx(msg, qc.enqueued, qc.trigger, qc.trigger_mmio);
+}
+
 void Nic::record_delivery(const RxStamps& s) {
   sim::Tick now = sim_->now();
   // Stage deltas in nanoseconds, pow2-bucketed. Recording is pure
@@ -103,6 +129,30 @@ void Nic::record_delivery(const RxStamps& s) {
   if (trace_ != nullptr && s.flow != 0) {
     trace_->flow_end(trace_lane_, "msg", "flow", now, s.flow);
   }
+  record_flight(s, now);
+}
+
+void Nic::record_flight(const RxStamps& s, sim::Tick t_deposit) {
+  if (flight_ == nullptr) return;
+  obs::FlightLeg leg;
+  leg.flow = s.flow;
+  leg.src = s.src;
+  leg.dst = s.dst;
+  leg.kind = s.kind;
+  leg.bytes = s.bytes;
+  leg.retransmits = s.retransmits;
+  leg.t_trigger = s.t_trigger;
+  leg.t_post = s.t_post;
+  leg.t_ring = s.t_ring;
+  leg.t_cmd = s.t_cmd;
+  leg.t_pop = s.t_pop;
+  leg.t_admit = s.t_admit;
+  leg.t_wire_first = s.t_wire_first;
+  leg.t_wire = s.t_wire;
+  leg.t_switch = s.t_switch;
+  leg.t_rx = s.t_rx;
+  leg.t_deposit = t_deposit;
+  flight_->record(leg, s.op_tag, s.tenant);
 }
 
 void Nic::issue_rndv_pull(const PendingRts& rts, const RecvDesc& r) {
@@ -146,8 +196,7 @@ void Nic::post_recv(RecvDesc r) {
       ++stats_.counter("recvs_matched_unexpected");
       std::uint64_t bytes = msg.payload.size();
       std::uint64_t cookie = r.cq_cookie;
-      RxStamps stamps{msg.flow, msg.t_trigger, msg.t_cmd, msg.t_wire,
-                      msg.t_rx};
+      RxStamps stamps = RxStamps::from(msg);
       sim_->spawn(
           [](Nic* nic, mem::Addr dst, std::vector<std::byte> payload,
              mem::Addr flag, std::uint64_t flag_value, std::uint64_t cookie,
@@ -185,6 +234,7 @@ void Nic::push_cq(std::uint64_t cookie, std::uint32_t kind,
 sim::Task<> Nic::tx_loop() {
   for (;;) {
     QueuedCmd qc = co_await cmd_queue_.pop();
+    qc.popped = sim_->now();
     if (rate_ != nullptr) {
       // Rate-limited admission: the command stays "queued" in the ledger
       // while it waits for a token, so pacing stalls show up as NIC
@@ -196,6 +246,7 @@ sim::Task<> Nic::tx_loop() {
           static_cast<std::uint64_t>(rate_->stalled_time());
     }
     sim::Tick begin = sim_->now();
+    qc.admitted = begin;  // == popped when pacing is off or had tokens
     cmd_util_.dequeue(begin);
     cmd_util_.acquire(begin);
     co_await sim_->delay(config_.cmd_fetch);
@@ -223,12 +274,14 @@ sim::Task<> Nic::execute(QueuedCmd qc) {
     msg.h1 = put->remote_flag;
     msg.h2 = put->flag_value;
     msg.h3 = put->remote_trigger_tag_plus1;
+    msg.op_tag = put->op_tag;
+    msg.tenant = put->tenant;
     msg.payload = fabric_->payload_pool().acquire();
     co_await tx_dma_.read_into(msg.payload, put->local_addr, put->bytes);
     // Payload has left the send buffer: local completion.
     set_flag(put->local_flag, put->flag_value);
     push_cq(put->cq_cookie, 1, put->bytes);
-    stamp_tx(msg, qc.enqueued, qc.trigger, qc.trigger_mmio);
+    stamp_tx(msg, qc);
     reliability_.send(std::move(msg));
   } else if (auto* get = std::get_if<GetDesc>(&cmd)) {
     ++stats_.counter("gets");
@@ -240,8 +293,10 @@ sim::Task<> Nic::execute(QueuedCmd qc) {
     msg.h1 = get->bytes;
     msg.h2 = get->local_addr;    // reply lands here
     msg.h3 = (static_cast<std::uint64_t>(get->local_flag));
+    msg.op_tag = get->op_tag;
+    msg.tenant = get->tenant;
     // Stash the flag value in the reply via the target (h2/h3 round-trip).
-    stamp_tx(msg, qc.enqueued, qc.trigger, qc.trigger_mmio);
+    stamp_tx(msg, qc);
     reliability_.send(std::move(msg));
     // local_flag is raised when the GetReply lands (rx path).
     (void)get->flag_value;  // carried implicitly: reply uses value 1 + addr
@@ -253,11 +308,13 @@ sim::Task<> Nic::execute(QueuedCmd qc) {
       msg.dst = send->target;
       msg.kind = kSend;
       msg.h0 = send->tag;
+      msg.op_tag = send->op_tag;
+      msg.tenant = send->tenant;
       msg.payload = fabric_->payload_pool().acquire();
       co_await tx_dma_.read_into(msg.payload, send->local_addr, send->bytes);
       set_flag(send->local_flag, send->flag_value);
       push_cq(send->cq_cookie, 2, send->bytes);
-      stamp_tx(msg, qc.enqueued, qc.trigger, qc.trigger_mmio);
+      stamp_tx(msg, qc);
       reliability_.send(std::move(msg));
     } else {
       // Rendezvous: ship only the ready-to-send descriptor; the payload
@@ -272,7 +329,9 @@ sim::Task<> Nic::execute(QueuedCmd qc) {
       rts.h0 = send->tag;
       rts.h1 = send->bytes;
       rts.h2 = send->local_addr;
-      stamp_tx(rts, qc.enqueued, qc.trigger, qc.trigger_mmio);
+      rts.op_tag = send->op_tag;
+      rts.tenant = send->tenant;
+      stamp_tx(rts, qc);
       reliability_.send(std::move(rts));
       // Local completion is raised when the pull drains the buffer.
     }
@@ -295,7 +354,7 @@ sim::Task<> Nic::land_payload(mem::Addr dst, std::vector<std::byte>&& payload,
 sim::Task<> Nic::handle_rx(net::Message msg) {
   // Captured before the payload is moved out; data-carrying kinds feed the
   // stage histograms (and end their trace flow) once the deposit is done.
-  RxStamps stamps{msg.flow, msg.t_trigger, msg.t_cmd, msg.t_wire, msg.t_rx};
+  RxStamps stamps = RxStamps::from(msg);
   switch (msg.kind) {
     case kPut: {
       ++stats_.counter("puts_received");
@@ -388,6 +447,10 @@ sim::Task<> Nic::handle_rx(net::Message msg) {
     }
     case kGetReq: {
       ++stats_.counter("get_reqs_received");
+      // The request leg ends here (no payload deposits). Feeds only the
+      // flight recorder — the always-on histograms never saw get requests
+      // and must not start to (pinned goldens).
+      record_flight(stamps, sim_->now());
       net::Message reply;
       reply.src = node_id_;
       reply.dst = msg.src;
@@ -395,6 +458,9 @@ sim::Task<> Nic::handle_rx(net::Message msg) {
       reply.h0 = msg.h2;  // initiator's local_addr
       reply.h1 = msg.h3;  // initiator's local_flag
       reply.h2 = 1;       // flag value
+      // The reply is the same logical op's second leg.
+      reply.op_tag = msg.op_tag;
+      reply.tenant = msg.tenant;
       reply.payload = fabric_->payload_pool().acquire();
       co_await tx_dma_.read_into(reply.payload, msg.h0, msg.h1);
       stamp_tx(reply, sim_->now(), -1, false);

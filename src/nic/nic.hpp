@@ -31,6 +31,10 @@
 #include "sim/trace.hpp"
 #include "sim/sync.hpp"
 
+namespace gputn::obs {
+class FlightRecorder;
+}  // namespace gputn::obs
+
 namespace gputn::nic {
 
 struct NicConfig {
@@ -94,6 +98,11 @@ struct PutDesc {
   std::uint64_t remote_trigger_tag_plus1 = 0;
   /// Optional completion-queue cookie (0 = no CQ entry on local completion).
   std::uint64_t cq_cookie = 0;
+  /// Observability pass-through (net::Message op_tag/tenant): pairs this
+  /// put with its logical partner in the flight recorder. Never interpreted
+  /// by the NIC.
+  std::uint64_t op_tag = 0;
+  std::int32_t tenant = -1;
 };
 
 /// One-sided get: read `bytes` from target `remote_addr` into initiator
@@ -105,6 +114,9 @@ struct GetDesc {
   mem::Addr remote_addr = 0;
   mem::Addr local_flag = 0;
   std::uint64_t flag_value = 1;
+  /// Observability pass-through; the GetReply inherits both (see PutDesc).
+  std::uint64_t op_tag = 0;
+  std::int32_t tenant = -1;
 };
 
 /// Two-sided tagged send (matched against a posted receive at the target).
@@ -119,6 +131,9 @@ struct SendDesc {
   std::uint64_t flag_value = 1;
   /// Optional completion-queue cookie (0 = no CQ entry).
   std::uint64_t cq_cookie = 0;
+  /// Observability pass-through (see PutDesc).
+  std::uint64_t op_tag = 0;
+  std::int32_t tenant = -1;
 };
 
 using Command = std::variant<PutDesc, GetDesc, SendDesc>;
@@ -149,6 +164,11 @@ class Nic : public net::MessageSink {
   /// Ring the command doorbell. Models the doorbell-write-to-NIC latency;
   /// commands execute FIFO. Zero-cost for the caller (posted write).
   void ring_doorbell(Command cmd);
+  /// Same, for commands that sat in a software queue before the ring (Qp
+  /// batching): `posted` is when the command entered that queue, so the
+  /// post->ring gap (batch wait) is visible per op instead of every command
+  /// of a batch inheriting the flush time.
+  void ring_doorbell(Command cmd, sim::Tick posted);
 
   /// Enqueue a command with no doorbell delay (used by on-NIC agents such as
   /// the triggered-op unit, which is already inside the NIC).
@@ -216,6 +236,11 @@ class Nic : public net::MessageSink {
   /// disabled.
   const TokenBucket* rate_limiter() const { return rate_.get(); }
 
+  /// Attach a per-op flight recorder (obs/flight.hpp): every delivered
+  /// data message is offered to it with its full stamp set. nullptr
+  /// detaches. Recording is pure bookkeeping and cannot perturb timing.
+  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
+
  private:
   enum MsgKind : std::uint32_t {
     kPut = 1,
@@ -246,18 +271,45 @@ class Nic : public net::MessageSink {
   /// entered the queue and, for triggered ops, when the trigger arrived).
   struct QueuedCmd {
     Command cmd;
-    sim::Tick enqueued = -1;
+    sim::Tick enqueued = -1;  ///< entered the NIC command queue
     sim::Tick trigger = -1;
     bool trigger_mmio = false;
+    sim::Tick posted = -1;    ///< posted to a software queue (Qp)
+    sim::Tick rung = -1;      ///< doorbell rung (batch flush instant)
+    sim::Tick popped = -1;    ///< TX engine popped it off the queue
+    sim::Tick admitted = -1;  ///< token bucket admitted (== popped unpaced)
   };
   /// Stamps captured off a delivered message before its payload is moved,
   /// so latency recording can happen after the deposit DMA completes.
   struct RxStamps {
     std::uint64_t flow = 0;
+    std::uint64_t op_tag = 0;
+    std::int32_t tenant = -1;
+    net::NodeId src = -1;
+    net::NodeId dst = -1;
+    std::uint32_t kind = 0;
+    std::uint64_t bytes = 0;
+    std::uint32_t retransmits = 0;
     sim::Tick t_trigger = -1;
+    sim::Tick t_post = -1;
+    sim::Tick t_ring = -1;
     sim::Tick t_cmd = -1;
+    sim::Tick t_pop = -1;
+    sim::Tick t_admit = -1;
+    sim::Tick t_wire_first = -1;
     sim::Tick t_wire = -1;
+    sim::Tick t_switch = -1;
     sim::Tick t_rx = -1;
+    /// Capture every observability field (payload size included) before the
+    /// payload vector is moved out for the deposit DMA.
+    static RxStamps from(const net::Message& m) {
+      return RxStamps{m.flow,      m.op_tag,       m.tenant,   m.src,
+                      m.dst,       m.kind,         m.payload_bytes(),
+                      m.retransmits,
+                      m.t_trigger, m.t_post,       m.t_ring,   m.t_cmd,
+                      m.t_pop,     m.t_admit,      m.t_wire_first,
+                      m.t_wire,    m.t_switch,     m.t_rx};
+    }
   };
 
   sim::Task<> tx_loop();
@@ -270,9 +322,15 @@ class Nic : public net::MessageSink {
   /// retransmission window copies carry the flow id.
   void stamp_tx(net::Message& msg, sim::Tick t_cmd, sim::Tick t_trigger,
                 bool trigger_mmio);
+  /// Same, copying the full stage context a queued command accumulated
+  /// (post/ring/pop/admit on top of cmd/trigger).
+  void stamp_tx(net::Message& msg, const QueuedCmd& qc);
   /// Record the always-on lat.* stage histograms (and the trace flow end)
   /// for a message whose payload just deposited.
   void record_delivery(const RxStamps& s);
+  /// Offer a delivered message's full stamp set to the attached flight
+  /// recorder (no-op when none is attached).
+  void record_flight(const RxStamps& s, sim::Tick t_deposit);
   sim::Task<> land_payload(mem::Addr dst, std::vector<std::byte>&& payload,
                            mem::Addr flag, std::uint64_t flag_value);
   /// Receiver side of rendezvous: issue the pull for a matched RTS.
@@ -289,7 +347,8 @@ class Nic : public net::MessageSink {
 
   /// Commands rung but not yet past the doorbell latency; drained FIFO by
   /// the events ring_doorbell schedules (constant latency keeps order).
-  std::deque<Command> doorbell_staging_;
+  /// Entries already carry posted/rung; `enqueued` is stamped on drain.
+  std::deque<QueuedCmd> doorbell_staging_;
   sim::Channel<QueuedCmd> cmd_queue_;
   obs::BusyTracker cmd_util_;
   std::unique_ptr<TokenBucket> rate_;
@@ -305,6 +364,7 @@ class Nic : public net::MessageSink {
   sim::Channel<CqEntry> cq_;
 
   sim::TraceRecorder* trace_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   std::string trace_lane_;
   std::string gpu_lane_;
   std::string trig_lane_;

@@ -6,7 +6,7 @@ namespace gputn::nic {
 
 void Qp::post(Command cmd) {
   ++posted_;
-  pending_.push_back(std::move(cmd));
+  pending_.push_back(Pending{std::move(cmd), sim_->now()});
   if (static_cast<int>(pending_.size()) >= cfg_.batch_size) {
     ++batch_flushes_;
     flush();
@@ -31,8 +31,8 @@ void Qp::flush() {
   if (pending_.empty()) return;
   ++doorbells_;
   occupancy_.add(pending_.size());
-  for (auto& cmd : pending_) {
-    nic_->ring_doorbell(std::move(cmd));
+  for (auto& p : pending_) {
+    nic_->ring_doorbell(std::move(p.cmd), p.posted);
   }
   pending_.clear();
 }

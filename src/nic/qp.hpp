@@ -60,10 +60,18 @@ class Qp {
   const sim::Histogram& occupancy() const { return occupancy_; }
 
  private:
+  /// Pending command plus the tick it was posted, so a flushed batch can
+  /// report each op's own queue-entry time rather than the shared flush
+  /// instant (visible as per-op batch wait in traces and flight records).
+  struct Pending {
+    Command cmd;
+    sim::Tick posted;
+  };
+
   sim::Simulator* sim_;
   Nic* nic_;
   QpConfig cfg_;
-  std::deque<Command> pending_;
+  std::deque<Pending> pending_;
   /// Timer generation: bumped on every flush so a stale timer event
   /// (scheduled before a full-batch flush) becomes a no-op.
   std::uint64_t timer_gen_ = 0;

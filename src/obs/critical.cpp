@@ -1,0 +1,489 @@
+#include "obs/critical.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json_read.hpp"
+#include "sim/trace.hpp"
+
+namespace gputn::obs {
+
+namespace {
+
+// net::Message kinds the path grouping cares about (nic/nic.hpp MsgKind;
+// the values are wire-visible protocol constants, not private state).
+constexpr std::uint32_t kKindPut = 1;
+constexpr std::uint32_t kKindGetReq = 3;
+
+/// Fixed category order: chain order, op-level category last. Rendering
+/// ranks by weight, but iteration anywhere else uses this order.
+constexpr const char* kCategories[] = {
+    "trigger_wait", "qp_batch",  "doorbell",     "cmd_queue",
+    "throttle",     "tx_proc",   "retransmit",   "wire",
+    "switch_queue", "deposit",   "server_proc",
+};
+
+/// Contribution of segment [from, to); stamps that did not occur (from < 0)
+/// or inverted pairs contribute nothing.
+std::int64_t seg(std::int64_t from, std::int64_t to) {
+  return (from >= 0 && to > from) ? to - from : 0;
+}
+
+void blame_leg(const FlightLeg& l, const WireParams& w,
+               std::map<std::string, std::int64_t>& out) {
+  out["trigger_wait"] += seg(l.t_trigger, l.t_cmd);
+  out["qp_batch"] += seg(l.t_post, l.t_ring);
+  out["doorbell"] += seg(l.t_ring, l.t_cmd);
+  out["cmd_queue"] += seg(l.t_cmd, l.t_pop);
+  out["throttle"] += seg(l.t_pop, l.t_admit);
+  std::int64_t first = l.t_wire_first >= 0 ? l.t_wire_first : l.t_wire;
+  out["tx_proc"] += seg(l.t_admit, first);
+  out["retransmit"] += seg(first, l.t_wire);
+  std::int64_t wire_meas = seg(l.t_wire, l.t_rx);
+  if (wire_meas > 0) {
+    std::int64_t ideal = ideal_wire_ps(w, l.bytes);
+    std::int64_t wire = std::min(wire_meas, ideal);
+    out["wire"] += wire;
+    out["switch_queue"] += wire_meas - wire;
+  }
+  out["deposit"] += seg(l.t_rx, l.t_deposit);
+}
+
+// ---- dump parsing ---------------------------------------------------------
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::runtime_error("flight dump: " + what);
+}
+
+double num(const json::Value& obj, const std::string& key, double dflt = 0.0) {
+  if (!obj.has(key)) return dflt;
+  const json::Value& v = obj.at(key);
+  if (!v.is_number()) bad("field '" + key + "' is not a number");
+  return v.number;
+}
+
+std::string str(const json::Value& obj, const std::string& key) {
+  if (!obj.has(key)) return {};
+  return obj.at(key).string;
+}
+
+std::int64_t stamp(const json::Value& stamps, const char* key) {
+  // Omitted stamp = the stage did not occur.
+  return static_cast<std::int64_t>(num(stamps, key, -1.0));
+}
+
+FlightLeg parse_leg(const json::Value& v) {
+  if (!v.is_object()) bad("leg is not an object");
+  FlightLeg l;
+  l.flow = static_cast<std::uint64_t>(num(v, "flow"));
+  l.src = static_cast<int>(num(v, "src", -1.0));
+  l.dst = static_cast<int>(num(v, "dst", -1.0));
+  l.kind = static_cast<std::uint32_t>(num(v, "kind"));
+  l.bytes = static_cast<std::uint64_t>(num(v, "bytes"));
+  l.retransmits = static_cast<std::uint32_t>(num(v, "retransmits"));
+  if (!v.has("stamps") || !v.at("stamps").is_object()) {
+    bad("leg has no stamps object");
+  }
+  const json::Value& st = v.at("stamps");
+  l.t_trigger = stamp(st, "trigger");
+  l.t_post = stamp(st, "post");
+  l.t_ring = stamp(st, "ring");
+  l.t_cmd = stamp(st, "cmd");
+  l.t_pop = stamp(st, "pop");
+  l.t_admit = stamp(st, "admit");
+  l.t_wire_first = stamp(st, "wire_first");
+  l.t_wire = stamp(st, "wire");
+  l.t_switch = stamp(st, "switch");
+  l.t_rx = stamp(st, "rx");
+  l.t_deposit = stamp(st, "deposit");
+  return l;
+}
+
+OpRecord parse_op(const json::Value& v) {
+  if (!v.is_object() || !v.has("req")) bad("op without a req leg");
+  OpRecord op;
+  // op_tag is written as a string (64-bit values exceed double precision);
+  // accept a plain number too for hand-written test fixtures.
+  if (v.has("op_tag") && v.at("op_tag").kind == json::Value::Kind::kString) {
+    op.op_tag = std::strtoull(v.at("op_tag").string.c_str(), nullptr, 10);
+  } else {
+    op.op_tag = static_cast<std::uint64_t>(num(v, "op_tag"));
+  }
+  op.tenant = static_cast<std::int32_t>(num(v, "tenant", -1.0));
+  op.req = parse_leg(v.at("req"));
+  if (v.has("resp")) op.resp = parse_leg(v.at("resp"));
+  return op;
+}
+
+AnalyzedRun parse_run(const json::Value& v, std::string id) {
+  if (!v.is_object() || !v.has("ops") || !v.at("ops").is_array()) {
+    bad("run object has no ops array");
+  }
+  AnalyzedRun run;
+  run.id = std::move(id);
+  run.workload = str(v, "workload");
+  run.mode = str(v, "mode");
+  if (v.has("wire") && v.at("wire").is_object()) {
+    const json::Value& w = v.at("wire");
+    run.wire.bytes_per_sec = num(w, "bytes_per_sec");
+    run.wire.link_latency_ps =
+        static_cast<std::int64_t>(num(w, "link_latency_ps"));
+    run.wire.switch_latency_ps =
+        static_cast<std::int64_t>(num(w, "switch_latency_ps"));
+    run.wire.mtu_bytes = static_cast<std::uint32_t>(num(w, "mtu_bytes"));
+    run.wire.header_bytes = static_cast<std::uint32_t>(num(w, "header_bytes"));
+    run.wire.per_packet_overhead =
+        static_cast<std::uint32_t>(num(w, "per_packet_overhead"));
+  }
+  run.offered = static_cast<std::uint64_t>(num(v, "offered"));
+  run.recorded = static_cast<std::uint64_t>(num(v, "recorded"));
+  for (const json::Value& o : *v.at("ops").array) {
+    run.ops.push_back(parse_op(o));
+  }
+  if (v.has("exemplars")) {
+    const json::Value& ex = v.at("exemplars");
+    if (!ex.is_object()) bad("exemplars is not an object");
+    for (const auto& [tenant_str, arr] : *ex.object) {
+      if (!arr.is_array()) bad("exemplar list is not an array");
+      std::int32_t tenant =
+          static_cast<std::int32_t>(std::strtol(tenant_str.c_str(), nullptr,
+                                                10));
+      for (const json::Value& o : *arr.array) {
+        run.exemplars[tenant].push_back(parse_op(o));
+      }
+    }
+  }
+  return run;
+}
+
+// ---- table building -------------------------------------------------------
+
+struct CategoryBuild {
+  std::uint64_t count = 0;
+  std::uint64_t total_ps = 0;
+  sim::Histogram hist;  ///< nonzero contributions, ns
+};
+
+void build_paths(AnalyzedRun& run) {
+  struct PathBuild {
+    std::uint64_t ops = 0;
+    sim::Histogram latency;
+    std::map<std::string, CategoryBuild> cats;
+  };
+  std::map<std::string, PathBuild> builds;
+  for (const OpRecord& op : run.ops) {
+    PathBuild& b = builds[op_path(op)];
+    ++b.ops;
+    std::int64_t lat = op.latency();
+    b.latency.add(lat > 0 ? static_cast<std::uint64_t>(lat) / 1000 : 0);
+    for (const auto& [cat, ps] : blame_op(op, run.wire)) {
+      if (ps <= 0) continue;
+      CategoryBuild& c = b.cats[cat];
+      ++c.count;
+      c.total_ps += static_cast<std::uint64_t>(ps);
+      c.hist.add(static_cast<std::uint64_t>(ps) / 1000);
+    }
+  }
+  for (auto& [path, b] : builds) {
+    PathTable t;
+    t.path = path;
+    t.ops = b.ops;
+    t.latency = b.latency;
+    std::uint64_t grand = 0;
+    for (const auto& [cat, c] : b.cats) grand += c.total_ps;
+    for (const auto& [cat, c] : b.cats) {
+      CategoryRow row;
+      row.category = cat;
+      row.count = c.count;
+      row.total_ps = c.total_ps;
+      row.share_pct =
+          grand > 0 ? 100.0 * static_cast<double>(c.total_ps) /
+                          static_cast<double>(grand)
+                    : 0.0;
+      row.p50_ns = c.hist.quantile(0.50);
+      row.p99_ns = c.hist.quantile(0.99);
+      row.p999_ns = c.hist.quantile(0.999);
+      row.max_ns = c.hist.max();
+      t.rows.push_back(row);
+    }
+    std::sort(t.rows.begin(), t.rows.end(),
+              [](const CategoryRow& a, const CategoryRow& b2) {
+                if (a.total_ps != b2.total_ps) return a.total_ps > b2.total_ps;
+                return a.category < b2.category;
+              });
+    run.paths.push_back(std::move(t));
+  }
+}
+
+std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+
+}  // namespace
+
+std::int64_t ideal_wire_ps(const WireParams& w, std::uint64_t payload_bytes) {
+  auto ser = [&](std::uint64_t bytes) -> std::int64_t {
+    if (bytes == 0 || w.bytes_per_sec <= 0.0) return 0;
+    // Replicates sim::Bandwidth::serialize (same double math, same
+    // rounding) so an uncongested leg's switch_queue comes out zero.
+    return static_cast<std::int64_t>(
+        static_cast<double>(bytes) / w.bytes_per_sec * 1e12 + 0.5);
+  };
+  std::uint64_t wire = w.header_bytes + payload_bytes;
+  std::uint64_t mtu = w.mtu_bytes > 0 ? w.mtu_bytes : wire;
+  if (mtu == 0) mtu = 1;
+  std::uint64_t first_pkt = std::min(wire, mtu) + w.per_packet_overhead;
+  std::uint64_t packets = (wire + mtu - 1) / mtu;
+  std::uint64_t total_wire = wire + packets * w.per_packet_overhead;
+  return ser(total_wire) + ser(first_pkt) + 2 * w.link_latency_ps +
+         w.switch_latency_ps;
+}
+
+std::map<std::string, std::int64_t> blame_op(const OpRecord& op,
+                                             const WireParams& wire) {
+  std::map<std::string, std::int64_t> out;
+  blame_leg(op.req, wire, out);
+  if (op.has_resp()) {
+    // The gap between the request landing and the response being issued is
+    // the server: CPU proxy scan + compute + post, or GPU poll + compute +
+    // trigger store.
+    out["server_proc"] += seg(op.req.t_deposit, op.resp.start());
+    blame_leg(op.resp, wire, out);
+  }
+  return out;
+}
+
+std::string op_path(const OpRecord& op) {
+  if (op.has_resp()) {
+    if (op.req.kind == kKindGetReq) return "get";
+    if (op.req.kind == kKindPut) return "put";
+  }
+  return "oneway";
+}
+
+std::uint64_t op_id(const OpRecord& op) {
+  return op.op_tag != 0 ? op.op_tag : op.req.flow;
+}
+
+Analysis analyze_flight(const std::string& json_text, std::string source) {
+  json::Value doc = json::parse(json_text);
+  Analysis a;
+  a.source = std::move(source);
+  if (doc.is_array()) {
+    // Merged --replicas dump: [{"id": ..., "flight": {...}}, ...].
+    for (const json::Value& entry : *doc.array) {
+      if (!entry.is_object() || !entry.has("flight")) {
+        bad("merged entry without a flight object");
+      }
+      a.runs.push_back(parse_run(entry.at("flight"), str(entry, "id")));
+    }
+  } else if (doc.is_object()) {
+    a.runs.push_back(parse_run(doc, ""));
+  } else {
+    bad("document is neither an object nor an array");
+  }
+  for (AnalyzedRun& run : a.runs) build_paths(run);
+  return a;
+}
+
+std::string render_analysis(const Analysis& a, const AnalyzeOptions& opt) {
+  std::string out;
+  out += "flight analysis: " + a.source + "\n";
+  for (const AnalyzedRun& run : a.runs) {
+    out += "\n== run";
+    if (!run.id.empty()) out += " " + run.id;
+    out += ": " + (run.workload.empty() ? "?" : run.workload) + " / " +
+           (run.mode.empty() ? "?" : run.mode) + "  (ops offered " +
+           std::to_string(run.offered) + ", recorded " +
+           std::to_string(run.recorded) + ")\n";
+    for (const PathTable& t : run.paths) {
+      out += "-- path " + t.path + ": " + std::to_string(t.ops) +
+             " ops, latency ns p50=" + fmt("%.0f", t.latency.quantile(0.5)) +
+             " p99=" + fmt("%.0f", t.latency.quantile(0.99)) +
+             " p999=" + fmt("%.0f", t.latency.quantile(0.999)) +
+             " max=" + fmt("%.0f", t.latency.max()) + "\n";
+      out += "   category       count     total_us  share%       p50_ns"
+             "       p99_ns      p999_ns       max_ns\n";
+      int shown = 0;
+      for (const CategoryRow& r : t.rows) {
+        if (opt.top > 0 && shown++ >= opt.top) break;
+        char line[256];
+        std::snprintf(line, sizeof line,
+                      "   %-13s %6llu %12.1f  %5.1f%% %12.0f %12.0f %12.0f"
+                      " %12.0f\n",
+                      r.category.c_str(),
+                      static_cast<unsigned long long>(r.count),
+                      static_cast<double>(r.total_ps) / 1e6, r.share_pct,
+                      r.p50_ns, r.p99_ns, r.p999_ns, r.max_ns);
+        out += line;
+      }
+    }
+    bool any_ex = false;
+    for (const auto& [tenant, ops] : run.exemplars) {
+      for (const OpRecord& op : ops) {
+        if (!any_ex) {
+          out += "-- tail exemplars (use `gputn analyze FILE --exemplar ID "
+                 "--trace OUT.json` to dump one)\n";
+          any_ex = true;
+        }
+        // Heaviest category of this op, for at-a-glance blame.
+        std::string top_cat = "-";
+        std::int64_t top_ps = 0;
+        for (const auto& [cat, ps] : blame_op(op, run.wire)) {
+          if (ps > top_ps) {
+            top_ps = ps;
+            top_cat = cat;
+          }
+        }
+        char line[256];
+        std::snprintf(line, sizeof line,
+                      "   tenant %3d  id=%llu  path=%s  latency_ns=%lld"
+                      "  top=%s(%.0fns)  retx=%u\n",
+                      tenant, static_cast<unsigned long long>(op_id(op)),
+                      op_path(op).c_str(),
+                      static_cast<long long>(op.latency() / 1000),
+                      top_cat.c_str(), static_cast<double>(top_ps) / 1e3,
+                      op.req.retransmits + op.resp.retransmits);
+        out += line;
+      }
+    }
+  }
+  return out;
+}
+
+AnalyzeDiff diff_analyses(const Analysis& cur, const Analysis& base,
+                          const AnalyzeOptions& opt) {
+  AnalyzeDiff d;
+  d.text += "blame diff: " + cur.source + " vs " + base.source + "\n";
+  auto find_base_run = [&](const AnalyzedRun& c,
+                           std::size_t pos) -> const AnalyzedRun* {
+    if (!c.id.empty()) {
+      for (const AnalyzedRun& b : base.runs) {
+        if (b.id == c.id) return &b;
+      }
+      return nullptr;
+    }
+    return pos < base.runs.size() ? &base.runs[pos] : nullptr;
+  };
+  auto gate = [&](const std::string& label, double cur_v, double base_v) {
+    double pct;
+    if (base_v > 0.0) {
+      pct = 100.0 * (cur_v - base_v) / base_v;
+    } else {
+      pct = cur_v > 0.0 ? 1e9 : 0.0;  // appeared from nothing
+    }
+    bool reg = pct > opt.threshold_pct;
+    if (reg || cur_v != base_v) {
+      char line[256];
+      std::snprintf(line, sizeof line, "  %-44s %12.0f -> %12.0f  %+8.1f%%%s\n",
+                    label.c_str(), base_v, cur_v,
+                    base_v > 0.0 ? 100.0 * (cur_v - base_v) / base_v
+                                 : (cur_v > 0.0 ? 999.9 : 0.0),
+                    reg ? "  REGRESSION" : "");
+      d.text += line;
+    }
+    if (reg) ++d.regressions;
+  };
+  for (std::size_t i = 0; i < cur.runs.size(); ++i) {
+    const AnalyzedRun& c = cur.runs[i];
+    const AnalyzedRun* b = find_base_run(c, i);
+    std::string rid = c.id.empty() ? "run" : "run " + c.id;
+    if (b == nullptr) {
+      d.text += "  " + rid + ": no baseline counterpart (not gated)\n";
+      continue;
+    }
+    for (const PathTable& ct : c.paths) {
+      const PathTable* bt = nullptr;
+      for (const PathTable& t : b->paths) {
+        if (t.path == ct.path) bt = &t;
+      }
+      if (bt == nullptr) {
+        d.text += "  " + rid + "/" + ct.path +
+                  ": path absent in baseline (not gated)\n";
+        continue;
+      }
+      std::string prefix = rid + "/" + ct.path;
+      gate(prefix + ".latency.p999_ns", ct.latency.quantile(0.999),
+           bt->latency.quantile(0.999));
+      for (const CategoryRow& cr : ct.rows) {
+        const CategoryRow* br = nullptr;
+        for (const CategoryRow& r : bt->rows) {
+          if (r.category == cr.category) br = &r;
+        }
+        if (br == nullptr) continue;  // category appeared: informational only
+        gate(prefix + "." + cr.category + ".p99_ns", cr.p99_ns, br->p99_ns);
+        gate(prefix + "." + cr.category + ".p999_ns", cr.p999_ns,
+             br->p999_ns);
+      }
+    }
+  }
+  d.text += d.regressions == 0
+                ? "OK: no blame metric regressed\n"
+                : "FAIL: " + std::to_string(d.regressions) +
+                      " blame metric(s) regressed past " +
+                      fmt("%.1f", opt.threshold_pct) + "%\n";
+  return d;
+}
+
+bool dump_exemplar_trace(const AnalyzedRun& run, std::uint64_t selector,
+                         const std::string& path) {
+  const OpRecord* found = nullptr;
+  for (const auto& [tenant, ops] : run.exemplars) {
+    for (const OpRecord& op : ops) {
+      if (op_id(op) == selector) found = &op;
+    }
+  }
+  if (found == nullptr) {
+    for (const OpRecord& op : run.ops) {
+      if (op_id(op) == selector) found = &op;
+    }
+  }
+  if (found == nullptr) return false;
+
+  sim::TraceRecorder tr;
+  auto leg_spans = [&](const FlightLeg& l, const std::string& src_lane,
+                       const std::string& dst_lane) {
+    auto span = [&](const char* name, std::int64_t a, std::int64_t b,
+                    const std::string& lane) {
+      if (a >= 0 && b > a) tr.span(lane, name, "blame", a, b);
+    };
+    span("trigger_wait", l.t_trigger, l.t_cmd, src_lane);
+    span("qp_batch", l.t_post, l.t_ring, src_lane);
+    span("doorbell", l.t_ring, l.t_cmd, src_lane);
+    span("cmd_queue", l.t_cmd, l.t_pop, src_lane);
+    span("throttle", l.t_pop, l.t_admit, src_lane);
+    std::int64_t first = l.t_wire_first >= 0 ? l.t_wire_first : l.t_wire;
+    span("tx_proc", l.t_admit, first, src_lane);
+    span("retransmit", first, l.t_wire, src_lane);
+    if (l.t_wire >= 0 && l.t_rx > l.t_wire) {
+      std::int64_t ideal =
+          std::min(ideal_wire_ps(run.wire, l.bytes), l.t_rx - l.t_wire);
+      tr.span("net", "wire", "blame", l.t_wire, l.t_wire + ideal,
+              "{\"bytes\":" + std::to_string(l.bytes) + "}");
+      if (l.t_wire + ideal < l.t_rx) {
+        tr.span("net", "switch_queue", "blame", l.t_wire + ideal, l.t_rx);
+      }
+    }
+    if (l.t_switch >= 0) tr.instant("net", "at-switch", "blame", l.t_switch);
+    span("deposit", l.t_rx, l.t_deposit, dst_lane);
+  };
+  leg_spans(found->req, "initiator", found->has_resp() ? "server"
+                                                       : "target");
+  if (found->has_resp()) {
+    if (found->req.t_deposit >= 0 &&
+        found->resp.start() > found->req.t_deposit) {
+      tr.span("server", "server_proc", "blame", found->req.t_deposit,
+              found->resp.start(),
+              "{\"op_tag\":" + std::to_string(found->op_tag) + "}");
+    }
+    leg_spans(found->resp, "server", "initiator");
+  }
+  return tr.write_json(path);
+}
+
+}  // namespace gputn::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "obs/json_read.hpp"
@@ -78,9 +79,31 @@ PointReport point_from_stats(const json::Value& stats) {
   flatten(stats, "", pt.metrics);
 
   std::map<std::string, ResourceRow> rows;
+  std::map<int, ServeRow> serve_rows;
   if (stats.at("counters").is_object()) {
     for (const auto& [name, v] : *stats.at("counters").object) {
-      if (!starts_with(name, "util.") || !v.is_number()) continue;
+      if (!v.is_number()) continue;
+      if (starts_with(name, "serve.")) {
+        std::string key = name.substr(6);
+        if (key == "window_ps") {
+          pt.serve_window_ps = static_cast<std::uint64_t>(v.number);
+        } else if (key.size() > 1 && key[0] == 't') {
+          // serve.t<i>.{ops,slo_ok,bytes}
+          char* end = nullptr;
+          long tenant = std::strtol(key.c_str() + 1, &end, 10);
+          if (end != nullptr && *end == '.' && tenant >= 0) {
+            std::string metric = end + 1;
+            ServeRow& row = serve_rows[static_cast<int>(tenant)];
+            row.tenant = static_cast<int>(tenant);
+            auto u = static_cast<std::uint64_t>(v.number);
+            if (metric == "ops") row.ops = u;
+            else if (metric == "slo_ok") row.slo_ok = u;
+            else if (metric == "bytes") row.bytes = u;
+          }
+        }
+        continue;
+      }
+      if (!starts_with(name, "util.")) continue;
       std::string key = name.substr(5);
       if (key == "window_ps") {
         pt.window_ps = static_cast<std::uint64_t>(v.number);
@@ -140,6 +163,26 @@ PointReport point_from_stats(const json::Value& stats) {
                      if (fa != fb) return fa > fb;
                      return a.name < b.name;
                    });
+
+  // Finalize the serving rows: derived SLO-hit / goodput values, tenant
+  // tail from the lat.serve.t<i> histogram's flattened p999. The goodput
+  // also becomes a diffable (higher-is-better gated) metric.
+  for (auto& [tenant, row] : serve_rows) {
+    row.slo_pct = row.ops > 0 ? 100.0 * static_cast<double>(row.slo_ok) /
+                                    static_cast<double>(row.ops)
+                              : 0.0;
+    row.goodput_rps =
+        pt.serve_window_ps > 0
+            ? static_cast<double>(row.slo_ok) /
+                  (static_cast<double>(pt.serve_window_ps) / 1e12)
+            : 0.0;
+    auto it = pt.metrics.find("histograms.lat.serve.t" +
+                              std::to_string(tenant) + ".p999");
+    if (it != pt.metrics.end()) row.p999_ns = it->second;
+    pt.metrics["serve.t" + std::to_string(tenant) + ".goodput_rps"] =
+        row.goodput_rps;
+    pt.serve.push_back(row);
+  }
   return pt;
 }
 
@@ -248,6 +291,22 @@ std::string render_report(const Report& rep, const ReportOptions& opt) {
         out += "\n";
       }
     }
+    if (!pt.serve.empty()) {
+      out += "  serving tenants (window " +
+             fmt("%.3f", static_cast<double>(pt.serve_window_ps) / 1e9) +
+             " ms)\n";
+      out += "  tenant          ops     slo_ok    slo%   goodput/s   "
+             "p999_us\n";
+      for (const ServeRow& s : pt.serve) {
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "  t%-6d %10llu %10llu  %5.1f%% %11.0f %9.1f\n",
+                      s.tenant, static_cast<unsigned long long>(s.ops),
+                      static_cast<unsigned long long>(s.slo_ok), s.slo_pct,
+                      s.goodput_rps, s.p999_ns / 1000.0);
+        out += line;
+      }
+    }
   }
   return out;
 }
@@ -267,6 +326,15 @@ bool is_gated(const std::string& key) {
     }
   }
   return false;
+}
+
+/// Gated in the opposite direction: these must not *drop* past the
+/// threshold (serving goodput under an SLO).
+bool is_gated_higher(const std::string& key) {
+  static const char* suf = ".goodput_rps";
+  std::string s = suf;
+  return starts_with(key, "serve.t") && key.size() > s.size() &&
+         key.compare(key.size() - s.size(), s.size(), s) == 0;
 }
 
 }  // namespace
@@ -305,6 +373,9 @@ Diff diff_reports(const Report& cur, const Report& base,
       double pct = bv != 0.0 ? 100.0 * (cv - bv) / bv : 0.0;
       bool gated = is_gated(key);
       bool regressed = gated && bv > 0.0 && pct > opt.threshold_pct;
+      if (is_gated_higher(key) && bv > 0.0 && pct < -opt.threshold_pct) {
+        regressed = true;
+      }
       if (regressed) ++d.regressions;
       d.text += "  " + key +
                 std::string(key.size() < 40 ? 40 - key.size() : 1, ' ') +

@@ -7,10 +7,15 @@
 //   * the resource attribution table from the util.* utilization-ledger
 //     counters (ranked by busy fraction over util.window_ps, saturated
 //     resources flagged, time-weighted queue means and queue p99s), and
-//   * the latency decomposition summary from the lat.* stage histograms.
+//   * the latency decomposition summary from the lat.* stage histograms,
+//     and
+//   * the serving summary from the serve.t<i>.* SLO counters (per-tenant
+//     SLO-goodput and tail latency), when the stats came from `gputn serve`.
 // Two reports can be diffed metric-by-metric; regressions past a
 // configurable threshold on the gated metrics (total_time_ps and lat.*
-// mean/p50/p90/p99/p999) make the diff "failing", which is what lets
+// mean/p50/p90/p99/p999, where lat.serve.t<i>.p999 is each tenant's tail;
+// serve.t<i>.goodput_rps is gated in the opposite direction — a *drop*
+// past the threshold regresses) make the diff "failing", which is what lets
 // `gputn report NEW.json --baseline OLD.json` act as a CI perf gate.
 // lat.* metrics present on only one side are printed as "(metric absent)"
 // rows; a gated lat.* metric the candidate *lost* counts as a regression
@@ -70,6 +75,18 @@ struct LatencyRow {
   double max_ns = 0.0;
 };
 
+/// One serving tenant's SLO summary (serve.t<i>.* counters plus the
+/// lat.serve.t<i> histogram's tail).
+struct ServeRow {
+  int tenant = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t slo_ok = 0;
+  std::uint64_t bytes = 0;
+  double slo_pct = 0.0;      ///< slo_ok / ops
+  double goodput_rps = 0.0;  ///< SLO-met ops per second of serve window
+  double p999_ns = 0.0;      ///< lat.serve.t<i> p999
+};
+
 /// Everything derived from one stats object (a whole stats file, or one
 /// point of a sweep file).
 struct PointReport {
@@ -78,8 +95,10 @@ struct PointReport {
   std::string error;             ///< failed sweep points carry this instead
   std::int64_t total_time_ps = -1;  ///< sweep points only (-1 = absent)
   std::uint64_t window_ps = 0;      ///< util.window_ps
+  std::uint64_t serve_window_ps = 0;   ///< serve.window_ps (0 = not a serve run)
   std::vector<ResourceRow> resources;  ///< ranked by busy fraction, desc
   std::vector<LatencyRow> latency;     ///< name-sorted lat.* stages
+  std::vector<ServeRow> serve;         ///< tenant-sorted serve.t<i>.* rows
   /// Every numeric leaf flattened to "counters.x" / "histograms.y.p99" /
   /// "total_time_ps" keys — the diffable view of the point.
   std::map<std::string, double> metrics;

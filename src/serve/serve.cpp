@@ -32,6 +32,16 @@ core::Tag slot_tag(int slot, std::uint64_t round) {
   return (static_cast<core::Tag>(slot) << 32) | round;
 }
 
+/// Flight-recorder op tag for the put (server, slot, round): the client's
+/// request put and the server's response put carry the same tag, so the
+/// analyzer sees one round-trip op. slot_tag() is only unique per server,
+/// hence the server-qualified encoding; the top bits keep put tags disjoint
+/// from get tags (and from 0 = untagged).
+std::uint64_t put_op_tag(int s, int slot, std::uint64_t round) {
+  return (2ull << 62) | (static_cast<std::uint64_t>(s) << 44) |
+         (static_cast<std::uint64_t>(slot) << 24) | round;
+}
+
 /// One pre-generated open-loop request.
 struct Req {
   sim::Tick at = 0;  ///< intended arrival, relative to traffic start
@@ -224,6 +234,8 @@ struct Workspace {
     p.remote_flag = cli[static_cast<std::size_t>(slot)]
                         .resp_flag[static_cast<std::size_t>(s)];
     p.flag_value = round;
+    p.op_tag = put_op_tag(s, slot, round);
+    p.tenant = t;
     return p;
   }
 
@@ -260,6 +272,9 @@ struct Workspace {
   std::vector<std::unique_ptr<Reactor>> reactors;  ///< per client node
   std::vector<std::unique_ptr<nic::Qp>> qps;       ///< per tenant
   std::uint64_t errors = 0;
+  /// Monotonic get op tag (simulation order, hence deterministic): pairs
+  /// each get request with its reply in the flight recorder.
+  std::uint64_t next_get_tag = 0;
 };
 
 sim::Task<> reactor_loop(Workspace& w, int client_node) {
@@ -314,6 +329,8 @@ sim::Task<> client_worker(Workspace& w, int t, int wk) {
       g.bytes = cfg.value_bytes;
       g.remote_addr = w.value_addr(rq.server, rq.key);
       g.local_flag = c.get_flag;
+      g.op_tag = (1ull << 62) | ++w.next_get_tag;
+      g.tenant = t;
       w.qps[static_cast<std::size_t>(t)]->post(g);
       co_await w.wait_flag(w.client_of(t), c.get_flag, 1);
       ok = memory.load<std::uint64_t>(c.get_buf) == key_sig(rq.key);
@@ -329,6 +346,8 @@ sim::Task<> client_worker(Workspace& w, int t, int wk) {
       p.remote_flag = w.srv[static_cast<std::size_t>(rq.server)]
                           .req_flag[static_cast<std::size_t>(slot)];
       p.flag_value = rq.round;
+      p.op_tag = put_op_tag(rq.server, slot, rq.round);
+      p.tenant = t;
       w.qps[static_cast<std::size_t>(t)]->post(p);
       auto sv = static_cast<std::size_t>(rq.server);
       co_await w.wait_flag(w.client_of(t), c.resp_flag[sv], rq.round);
@@ -492,6 +511,7 @@ ServeResult run_serve(const ServeConfig& cfg,
   Workspace w(adjusted, cfg);
   if (cfg.trace != nullptr) w.cluster.enable_tracing(*cfg.trace);
   if (cfg.timeseries != nullptr) w.cluster.attach_timeseries(*cfg.timeseries);
+  if (cfg.flight != nullptr) w.cluster.attach_flight(*cfg.flight);
 
   for (int c = 0; c < cfg.clients; ++c) {
     w.sim.spawn(reactor_loop(w, c), "serve-reactor");

@@ -374,6 +374,7 @@ AllreduceResult run_allreduce(const AllreduceConfig& cfg,
   Workspace w(adjusted, cfg);
   if (cfg.trace != nullptr) w.cluster.enable_tracing(*cfg.trace);
   if (cfg.timeseries != nullptr) w.cluster.attach_timeseries(*cfg.timeseries);
+  if (cfg.flight != nullptr) w.cluster.attach_flight(*cfg.flight);
   std::vector<sim::ProcessHandle> ranks;
   for (int r = 0; r < cfg.nodes; ++r) {
     switch (cfg.strategy) {

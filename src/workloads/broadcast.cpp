@@ -156,6 +156,7 @@ BroadcastResult run_broadcast(const BroadcastConfig& cfg,
   Workspace w(adjusted, cfg);
   if (cfg.trace != nullptr) w.cluster.enable_tracing(*cfg.trace);
   if (cfg.timeseries != nullptr) w.cluster.attach_timeseries(*cfg.timeseries);
+  if (cfg.flight != nullptr) w.cluster.attach_flight(*cfg.flight);
   std::vector<sim::ProcessHandle> nodes;
   for (int n = 0; n < cfg.nodes; ++n) {
     switch (cfg.drive) {

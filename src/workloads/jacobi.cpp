@@ -426,6 +426,7 @@ JacobiResult run_jacobi(const JacobiConfig& cfg,
   Workspace w(adjusted, cfg);
   if (cfg.trace != nullptr) w.cluster.enable_tracing(*cfg.trace);
   if (cfg.timeseries != nullptr) w.cluster.attach_timeseries(*cfg.timeseries);
+  if (cfg.flight != nullptr) w.cluster.attach_flight(*cfg.flight);
   std::vector<sim::ProcessHandle> nodes;
   for (int i = 0; i < kNodes; ++i) {
     switch (cfg.strategy) {

@@ -368,6 +368,7 @@ MicrobenchResult run_microbench(const MicrobenchConfig& cfg,
   Rig r(config);
   if (cfg.trace != nullptr) r.cluster.enable_tracing(*cfg.trace);
   if (cfg.timeseries != nullptr) r.cluster.attach_timeseries(*cfg.timeseries);
+  if (cfg.flight != nullptr) r.cluster.attach_flight(*cfg.flight);
   MicrobenchResult res;
   switch (cfg.strategy) {
     case Strategy::kCpu:

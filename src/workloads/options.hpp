@@ -19,6 +19,7 @@
 #include "workloads/strategy.hpp"
 
 namespace gputn::obs {
+class FlightRecorder;
 class TimeSeries;
 }  // namespace gputn::obs
 
@@ -46,6 +47,13 @@ struct RunOptions {
   /// timestamps are bit-identical to an unsampled run (the zero-drift test
   /// enforces this). Same parallel-runner caveat as `trace`.
   obs::TimeSeries* timeseries = nullptr;
+  /// When non-null, the run attaches this per-op flight recorder to every
+  /// NIC (Cluster::attach_flight): each delivered message's stage stamps
+  /// are offered to it for `gputn analyze`. Pure observation with the same
+  /// bit-identical guarantee and parallel-runner caveat as `trace` —
+  /// except that the CLI does allow it under --replicas, with one private
+  /// recorder per point merged in plan order.
+  obs::FlightRecorder* flight = nullptr;
   /// Suppress the per-run stdout report. exp::Plan forces this on for
   /// points executed by the parallel runner, whose workers must not
   /// interleave prints; the driver reports from the merged results instead.

@@ -109,6 +109,7 @@ Cfg make_config(const RunOptions& opts, const WorkloadParams& p) {
   if (opts.nodes != 0) cfg.nodes = opts.nodes;
   cfg.trace = opts.trace;
   cfg.timeseries = opts.timeseries;
+  cfg.flight = opts.flight;
   cfg.quiet = opts.quiet;
   return cfg;
 }

@@ -1,0 +1,212 @@
+// Flight recorder: deterministic sampling, tail-exemplar retention, pairing,
+// and the cross-cutting determinism contracts the tentpole promises —
+// traced and untraced runs produce byte-identical flight dumps, and a
+// multi-point run's merged dump is byte-identical for every --jobs value.
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/plan.hpp"
+#include "exp/runner.hpp"
+#include "obs/critical.hpp"
+#include "obs/flight.hpp"
+#include "serve/serve.hpp"
+#include "sim/trace.hpp"
+#include "workloads/registry.hpp"
+
+namespace gputn::obs {
+namespace {
+
+/// A minimal completed one-leg op: landed at `rx`, deposited after 100 ps.
+FlightLeg leg_with_latency(std::uint64_t flow, std::int64_t rx) {
+  FlightLeg l;
+  l.flow = flow;
+  l.kind = 2;  // kSend: single-leg
+  l.bytes = 64;
+  l.t_cmd = 0;
+  l.t_wire = 10;
+  l.t_rx = rx;
+  l.t_deposit = rx + 100;
+  return l;
+}
+
+TEST(FlightRecorder, SamplingIsAPureFunctionOfKeyAndSeed) {
+  // Same (key, seed, period) -> same decision, always: the keep decision
+  // must not depend on recorder state, arrival order, or thread count.
+  for (std::uint64_t key : {1ull, 42ull, 0xdeadbeefull, (1ull << 62) + 7}) {
+    for (std::uint64_t seed : {1ull, 2ull, 99ull}) {
+      bool first = FlightRecorder::sampled(key, seed, 8);
+      for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(FlightRecorder::sampled(key, seed, 8), first);
+      }
+    }
+  }
+  // Period 1 keeps everything; period 0 is clamped to "keep everything".
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    EXPECT_TRUE(FlightRecorder::sampled(key, 1, 1));
+    EXPECT_TRUE(FlightRecorder::sampled(key, 1, 0));
+  }
+  // With period 8 the hash keeps a nonzero, non-total subset.
+  int kept = 0;
+  for (std::uint64_t key = 0; key < 1024; ++key) {
+    if (FlightRecorder::sampled(key, 1, 8)) ++kept;
+  }
+  EXPECT_GT(kept, 0);
+  EXPECT_LT(kept, 1024);
+}
+
+TEST(FlightRecorder, ExemplarsRetainTheSlowestOpsEvenWhenSampledOut) {
+  // Aggressive sampling: nearly every op misses the ring. The exemplar
+  // side-channel must still retain the K slowest ops per tenant — that is
+  // the whole point of always-offered exemplar capture.
+  FlightConfig cfg;
+  cfg.sample_period = 1 << 20;
+  cfg.exemplars_per_tenant = 2;
+  FlightRecorder rec(cfg);
+  // Tenant 0: latencies 100.. +50 each; tenant 1: one slow op in the middle.
+  std::int64_t max_rx_t0 = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    std::int64_t rx = 100 + static_cast<std::int64_t>(i) * 50;
+    max_rx_t0 = rx;
+    rec.record(leg_with_latency(1000 + i, rx), /*op_tag=*/0, /*tenant=*/0);
+  }
+  rec.record(leg_with_latency(5000, 999999), 0, /*tenant=*/1);
+  rec.record(leg_with_latency(5001, 10), 0, 1);
+  rec.record(leg_with_latency(5002, 20), 0, 1);
+
+  EXPECT_EQ(rec.offered(), 203u);
+  EXPECT_LT(rec.recorded(), 203u);  // sampling genuinely dropped ops
+
+  auto ex0 = rec.exemplars(0);
+  ASSERT_EQ(ex0.size(), 2u);
+  // Slowest first, and provably the max-latency op for the tenant.
+  EXPECT_EQ(ex0[0].req.t_rx, max_rx_t0);
+  EXPECT_EQ(ex0[0].req.flow, 1199u);
+  EXPECT_EQ(ex0[1].req.flow, 1198u);
+  EXPECT_GE(ex0[0].latency(), ex0[1].latency());
+
+  auto ex1 = rec.exemplars(1);
+  ASSERT_EQ(ex1.size(), 2u);
+  EXPECT_EQ(ex1[0].req.flow, 5000u);  // the one slow op leads
+}
+
+TEST(FlightRecorder, RingEvictsOldestAndCountsEvictions) {
+  FlightConfig cfg;
+  cfg.capacity = 4;
+  FlightRecorder rec(cfg);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    rec.record(leg_with_latency(i + 1, 100 + static_cast<std::int64_t>(i)),
+               0, -1);
+  }
+  EXPECT_EQ(rec.offered(), 10u);
+  EXPECT_EQ(rec.recorded(), 4u);
+  EXPECT_EQ(rec.evicted(), 6u);
+}
+
+TEST(FlightRecorder, PairsLegsByOpTagAcrossArrivalOrder) {
+  FlightRecorder rec(FlightConfig{});
+  FlightLeg req = leg_with_latency(7, 500);
+  req.kind = 1;  // kPut
+  FlightLeg resp = leg_with_latency(8, 900);
+  resp.kind = 1;
+  rec.record(req, /*op_tag=*/77, /*tenant=*/3);
+  EXPECT_EQ(rec.offered(), 0u);  // first leg parks, no op yet
+  rec.record(resp, 77, 3);
+  EXPECT_EQ(rec.offered(), 1u);
+  auto ex = rec.exemplars(3);
+  ASSERT_EQ(ex.size(), 1u);
+  EXPECT_EQ(ex[0].op_tag, 77u);
+  EXPECT_TRUE(ex[0].has_resp());
+  // Latency spans trigger-to-deposit across both legs.
+  EXPECT_EQ(ex[0].latency(), ex[0].resp.t_deposit - ex[0].req.start());
+}
+
+serve::ServeConfig mini_serve(workloads::Strategy strat) {
+  serve::ServeConfig cfg;
+  cfg.strategy = strat;
+  cfg.clients = 2;
+  cfg.servers = 2;
+  cfg.tenants = 2;
+  cfg.requests = 60;
+  return cfg;
+}
+
+TEST(FlightRecorder, TracedAndUntracedRunsProduceIdenticalDumps) {
+  // Attaching a Chrome-trace recorder must not perturb a single stamp:
+  // tracing is observability, the flight dump is the ground truth both
+  // configurations must agree on.
+  serve::ServeConfig cfg = mini_serve(workloads::Strategy::kCpu);
+  FlightRecorder plain(FlightConfig{});
+  cfg.flight = &plain;
+  serve::ServeResult a = serve::run_serve(cfg);
+
+  sim::TraceRecorder trace;
+  FlightRecorder traced(FlightConfig{});
+  cfg.flight = &traced;
+  cfg.trace = &trace;
+  serve::ServeResult b = serve::run_serve(cfg);
+
+  ASSERT_TRUE(a.correct);
+  ASSERT_TRUE(b.correct);
+  EXPECT_GT(trace.event_count(), 0u);
+  EXPECT_GT(plain.offered(), 0u);
+  EXPECT_EQ(plain.json(), traced.json());
+  EXPECT_EQ(a.total_time, b.total_time);
+}
+
+TEST(FlightRecorder, MergedDumpAndAnalysisAreJobsInvariant) {
+  // Three serve points through the parallel engine, each with its own
+  // recorder (the --flight --replicas shape). The merged dump and the
+  // rendered analysis must be byte-identical for --jobs 1, 2 and 4.
+  workloads::Registry& reg = workloads::Registry::instance();
+  if (reg.find("serve") == nullptr) {
+    workloads::register_builtin_workloads(reg);
+  }
+  workloads::WorkloadParams params;
+  params.set("clients", "2");
+  params.set("servers", "2");
+  params.set("tenants", "2");
+  params.set("requests", "40");
+
+  auto run_with_jobs = [&](int jobs) {
+    std::vector<std::unique_ptr<FlightRecorder>> recs;
+    exp::Plan plan;
+    for (int i = 0; i < 3; ++i) {
+      recs.push_back(std::make_unique<FlightRecorder>(FlightConfig{}));
+      workloads::RunOptions opts;
+      opts.flight = recs.back().get();
+      plan.add_workload(reg, "serve/p" + std::to_string(i), "serve", opts,
+                        params,
+                        cluster::SystemConfig::table2_with_loss(
+                            0.0, static_cast<std::uint64_t>(i + 1)));
+    }
+    exp::RunSummary summary = exp::Runner(jobs).run(plan);
+    EXPECT_EQ(summary.failures, 0u);
+    std::vector<std::pair<std::string, FlightRecorder*>> points;
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      points.emplace_back(summary.results[i].id, recs[i].get());
+    }
+    return merged_flight_json(std::move(points));
+  };
+
+  std::string j1 = run_with_jobs(1);
+  std::string j2 = run_with_jobs(2);
+  std::string j4 = run_with_jobs(4);
+  EXPECT_EQ(j1, j2);
+  EXPECT_EQ(j1, j4);
+
+  // And through the analyzer: identical dumps must render identically
+  // (analyze_flight is pure, so this pins the whole pipeline).
+  AnalyzeOptions opt;
+  std::string r1 = render_analysis(analyze_flight(j1, "merged"), opt);
+  std::string r4 = render_analysis(analyze_flight(j4, "merged"), opt);
+  EXPECT_EQ(r1, r4);
+  EXPECT_NE(r1.find("== run serve/p0"), std::string::npos);
+  EXPECT_NE(r1.find("-- path put"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gputn::obs

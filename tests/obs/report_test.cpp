@@ -181,6 +181,72 @@ TEST(Report, DiffPrintsAbsentLatencyMetricsLoudly) {
   EXPECT_EQ(d.regressions, 1) << d.text;
 }
 
+TEST(Report, ParsesAndRendersServeTenantSection) {
+  // A serve run's stats: two tenants, 1e9 ps (1 ms) window. Tenant 0 met
+  // SLO on 900 of 1000 ops -> 900 / 1 ms = 900000 good ops/s.
+  const char* stats = R"({
+    "counters": {
+      "serve.window_ps": 1000000000,
+      "serve.t0.ops": 1000, "serve.t0.slo_ok": 900, "serve.t0.bytes": 4096,
+      "serve.t1.ops": 500, "serve.t1.slo_ok": 500, "serve.t1.bytes": 2048
+    },
+    "histograms": {
+      "lat.serve.t0": {"count": 1000, "p99": 8000.0, "p999": 9500.0},
+      "lat.serve.t1": {"count": 500, "p99": 4000.0, "p999": 4200.0}
+    }
+  })";
+  Report rep = parse_report(stats, "serve.json");
+  ASSERT_EQ(rep.points.size(), 1u);
+  const PointReport& pt = rep.points[0];
+  EXPECT_EQ(pt.serve_window_ps, 1000000000u);
+  ASSERT_EQ(pt.serve.size(), 2u);
+  EXPECT_EQ(pt.serve[0].tenant, 0);
+  EXPECT_EQ(pt.serve[0].ops, 1000u);
+  EXPECT_EQ(pt.serve[0].slo_ok, 900u);
+  EXPECT_DOUBLE_EQ(pt.serve[0].slo_pct, 90.0);
+  EXPECT_DOUBLE_EQ(pt.serve[0].goodput_rps, 900000.0);
+  EXPECT_DOUBLE_EQ(pt.serve[0].p999_ns, 9500.0);
+  EXPECT_DOUBLE_EQ(pt.serve[1].goodput_rps, 500000.0);
+  // Goodput becomes a diffable metric alongside the flattened counters.
+  EXPECT_DOUBLE_EQ(pt.metrics.at("serve.t0.goodput_rps"), 900000.0);
+
+  std::string rendered = render_report(rep, ReportOptions{});
+  EXPECT_NE(rendered.find("serving tenants (window 1.000 ms)"),
+            std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("t0"), std::string::npos);
+  EXPECT_NE(rendered.find("90.0%"), std::string::npos) << rendered;
+}
+
+TEST(Report, DiffGatesServeGoodputDrops) {
+  // Goodput is gated in the opposite direction from latency: a drop past
+  // the threshold regresses, growth never does. Tenant p999 stays gated
+  // through the ordinary lat.* rule.
+  const char* base = R"({
+    "counters": {"serve.window_ps": 1000000000,
+                 "serve.t0.ops": 1000, "serve.t0.slo_ok": 1000,
+                 "serve.t0.bytes": 1},
+    "histograms": {"lat.serve.t0": {"count": 1000, "p999": 5000.0}}
+  })";
+  const char* degraded = R"({
+    "counters": {"serve.window_ps": 1000000000,
+                 "serve.t0.ops": 1000, "serve.t0.slo_ok": 500,
+                 "serve.t0.bytes": 1},
+    "histograms": {"lat.serve.t0": {"count": 1000, "p999": 5000.0}}
+  })";
+  Report b = parse_report(base, "base.json");
+  Report d = parse_report(degraded, "cur.json");
+
+  // Self-diff clean; goodput halved regresses; the reverse direction
+  // (goodput doubled) does not.
+  EXPECT_EQ(diff_reports(b, b, ReportOptions{}).regressions, 0);
+  Diff drop = diff_reports(d, b, ReportOptions{});
+  EXPECT_EQ(drop.regressions, 1) << drop.text;
+  EXPECT_NE(drop.text.find("serve.t0.goodput_rps"), std::string::npos);
+  EXPECT_NE(drop.text.find("REGRESSION"), std::string::npos);
+  EXPECT_EQ(diff_reports(b, d, ReportOptions{}).regressions, 0);
+}
+
 TEST(Report, MalformedInputThrows) {
   EXPECT_THROW(parse_report("{bad", "x"), std::runtime_error);
   EXPECT_THROW(parse_report("42", "x"), std::runtime_error);

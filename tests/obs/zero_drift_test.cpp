@@ -13,7 +13,9 @@
 // time is re-pinned here).
 #include <gtest/gtest.h>
 
+#include "obs/flight.hpp"
 #include "obs/timeseries.hpp"
+#include "serve/serve.hpp"
 #include "sim/units.hpp"
 #include "workloads/allreduce.hpp"
 #include "workloads/jacobi.hpp"
@@ -62,6 +64,74 @@ TEST(ZeroDrift, AllreduceIdenticalWithAndWithoutSampling) {
   ASSERT_TRUE(obs_run.correct);
   EXPECT_EQ(obs_run.total_time, base.total_time);
   EXPECT_EQ(obs_run.stats_json(), base.stats_json());
+}
+
+TEST(ZeroDrift, JacobiIdenticalWithAndWithoutFlightRecorder) {
+  // The flight recorder taps message stamps at delivery time — pure
+  // bookkeeping, zero events injected. Same strict contract as the
+  // sampler: recorder-on must be bit-identical to recorder-off, golden
+  // total time included.
+  JacobiConfig plain;
+  plain.strategy = Strategy::kGpuTn;
+  plain.n = 32;
+  plain.iterations = 3;
+  JacobiResult base = run_jacobi(plain);
+
+  obs::FlightRecorder flight(obs::FlightConfig{});
+  JacobiConfig recorded = plain;
+  recorded.flight = &flight;
+  JacobiResult rec_run = run_jacobi(recorded);
+
+  EXPECT_GT(flight.offered(), 0u);  // the recorder genuinely saw traffic
+  ASSERT_TRUE(base.correct);
+  ASSERT_TRUE(rec_run.correct);
+  EXPECT_EQ(base.total_time, 10921398);  // golden, pinned at the seed
+  EXPECT_EQ(rec_run.total_time, base.total_time);
+  EXPECT_EQ(rec_run.checksum, base.checksum);
+  EXPECT_EQ(rec_run.stats_json(), base.stats_json());
+}
+
+TEST(ZeroDrift, AllreduceIdenticalWithAndWithoutFlightRecorder) {
+  AllreduceConfig plain;
+  plain.strategy = Strategy::kGpuTn;
+  plain.nodes = 4;
+  plain.elements = 65536;
+  AllreduceResult base = run_allreduce(plain);
+
+  obs::FlightRecorder flight(obs::FlightConfig{});
+  AllreduceConfig recorded = plain;
+  recorded.flight = &flight;
+  AllreduceResult rec_run = run_allreduce(recorded);
+
+  EXPECT_GT(flight.offered(), 0u);
+  ASSERT_TRUE(base.correct);
+  ASSERT_TRUE(rec_run.correct);
+  EXPECT_EQ(rec_run.total_time, base.total_time);
+  EXPECT_EQ(rec_run.stats_json(), base.stats_json());
+}
+
+TEST(ZeroDrift, ServeIdenticalWithAndWithoutFlightRecorder) {
+  // Serve stamps op tags and tenants onto its descriptors whether or not a
+  // recorder is attached; the recorder itself must add nothing observable —
+  // per-tenant SLO counters and histograms included.
+  serve::ServeConfig plain;
+  plain.strategy = workloads::Strategy::kCpu;
+  plain.clients = 2;
+  plain.servers = 2;
+  plain.tenants = 2;
+  plain.requests = 60;
+  serve::ServeResult base = serve::run_serve(plain);
+
+  obs::FlightRecorder flight(obs::FlightConfig{});
+  serve::ServeConfig recorded = plain;
+  recorded.flight = &flight;
+  serve::ServeResult rec_run = serve::run_serve(recorded);
+
+  EXPECT_GT(flight.offered(), 0u);
+  ASSERT_TRUE(base.correct);
+  ASSERT_TRUE(rec_run.correct);
+  EXPECT_EQ(rec_run.total_time, base.total_time);
+  EXPECT_EQ(rec_run.stats_json(), base.stats_json());
 }
 
 TEST(ZeroDrift, LedgerCountersAreDeterministicAcrossRuns) {

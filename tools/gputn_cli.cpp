@@ -3,6 +3,8 @@
 //   gputn config     [--loss P]
 //   gputn sweep      [--jobs N] [--stats-json FILE]
 //   gputn report     FILE... [--baseline FILE] [--threshold PCT] [--top N]
+//   gputn analyze    FILE... [--baseline FILE] [--threshold PCT] [--top N]
+//                    [--exemplar ID --trace OUT]
 //   gputn <workload> [workload options]
 //
 // Workloads come from workloads::Registry (microbench, jacobi, allreduce,
@@ -34,7 +36,21 @@
 //                      interval; .csv extension selects CSV, else JSON
 //                      (single runs only, like --trace)
 //   --sample-interval NS  sampling interval in simulated ns (default 1000)
+//   --flight FILE      write the per-op flight recorder dump (stage stamps,
+//                      tail exemplars) as JSON; unlike --trace this composes
+//                      with --replicas: each replica gets its own recorder
+//                      and the dumps are merged in plan order
+//   --flight-sample P      record 1-in-P ops (deterministic hash sampling,
+//                          default 1 = every op); exemplars ignore P
+//   --flight-capacity N    op-ring capacity (default 4096, oldest evicted)
+//   --flight-exemplars K   slowest ops kept per tenant (default 4)
 //   --log-level L      trace|debug|info|warn|error|off (default warn)
+//
+// `gputn analyze` turns a flight dump into a critical-path blame report:
+// per-path (put/get/oneway) category tables at p50/p99/p999, the tail
+// exemplar list, --baseline category-by-category diffing (nonzero exit on
+// regression past --threshold), and --exemplar ID --trace OUT to dump one
+// op as a single-op Chrome trace for Perfetto.
 //
 // `gputn report` turns stats/sweep JSON files into a bottleneck attribution
 // report (resources ranked by busy fraction, queue p99s, saturated links
@@ -57,6 +73,8 @@
 #include "exp/plan.hpp"
 #include "exp/runner.hpp"
 #include "exp/sweeps.hpp"
+#include "obs/critical.hpp"
+#include "obs/flight.hpp"
 #include "obs/report.hpp"
 #include "obs/timeseries.hpp"
 #include "sim/log.hpp"
@@ -82,6 +100,11 @@ namespace {
                "  %-18s   <file>... --baseline <file> --threshold <pct> "
                "--top <n>\n",
                "report", "");
+  std::fprintf(stderr,
+               "  %-18s critical-path blame tables from a --flight dump\n"
+               "  %-18s   <file>... --baseline <file> --threshold <pct> "
+               "--top <n> --exemplar <id> --trace <out>\n",
+               "analyze", "");
   for (const auto& e : Registry::instance().entries()) {
     std::fprintf(stderr, "  %-18s %s\n", e.name.c_str(),
                  e.description.c_str());
@@ -94,6 +117,8 @@ namespace {
       "  replication (any workload): --replicas <r> --jobs <n>\n"
       "  observability (any workload): --trace <file> --stats-json <file> "
       "--timeseries <file> --sample-interval <ns> "
+      "--flight <file> --flight-sample <p> --flight-capacity <n> "
+      "--flight-exemplars <k> "
       "--log-level trace|debug|info|warn|error|off\n");
   std::exit(2);
 }
@@ -150,7 +175,9 @@ void apply_log_level(const Args& args) {
 bool is_driver_key(const std::string& k) {
   return k == "nodes" || k == "trace" || k == "stats-json" ||
          k == "timeseries" || k == "sample-interval" || k == "log-level" ||
-         k == "loss" || k == "seed" || k == "jobs" || k == "replicas";
+         k == "loss" || k == "seed" || k == "jobs" || k == "replicas" ||
+         k == "flight" || k == "flight-sample" || k == "flight-capacity" ||
+         k == "flight-exemplars";
 }
 
 /// Validated value of a numeric driver flag (shared Args -> long plumbing).
@@ -162,21 +189,43 @@ long driver_int(const Args& args, const std::string& key, long dflt, long min,
   return p.get_int(key, dflt, min, max);
 }
 
-/// --trace / --stats-json / --timeseries handling shared by every workload
-/// subcommand. Owns the TraceRecorder and TimeSeries for the run and writes
-/// the artifacts at the end. Every write reports I/O failures to stderr and
-/// makes finish() return nonzero: an unwritable artifact must fail the run,
-/// not silently vanish (these files gate CI).
+/// The --flight-* knobs as a recorder config (shared by single runs and the
+/// per-replica recorders). The sampling seed is the run seed, so replicas
+/// (seed S, S+1, ...) make independent keep decisions.
+obs::FlightConfig flight_config(const Args& args, long seed) {
+  obs::FlightConfig cfg;
+  cfg.sample_period = static_cast<std::uint64_t>(
+      driver_int(args, "flight-sample", 1, 1, 1L << 30));
+  cfg.capacity =
+      static_cast<std::size_t>(driver_int(args, "flight-capacity", 4096, 1,
+                                          1 << 24));
+  cfg.exemplars_per_tenant = static_cast<std::size_t>(
+      driver_int(args, "flight-exemplars", 4, 0, 4096));
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  return cfg;
+}
+
+/// --trace / --stats-json / --timeseries / --flight handling shared by every
+/// workload subcommand. Owns the TraceRecorder, TimeSeries and
+/// FlightRecorder for the run and writes the artifacts at the end. Every
+/// write reports I/O failures to stderr and makes finish() return nonzero:
+/// an unwritable artifact must fail the run, not silently vanish (these
+/// files gate CI).
 class ObservabilityFlags {
  public:
-  explicit ObservabilityFlags(const Args& args)
+  explicit ObservabilityFlags(const Args& args, long seed)
       : trace_path_(args.get("trace", "")),
         stats_path_(args.get("stats-json", "")),
-        ts_path_(args.get("timeseries", "")) {
+        ts_path_(args.get("timeseries", "")),
+        flight_path_(args.get("flight", "")) {
     if (!ts_path_.empty()) {
       long interval_ns =
           driver_int(args, "sample-interval", 1000, 1, 1L << 40);
       ts_ = std::make_unique<obs::TimeSeries>(sim::ns(interval_ns));
+    }
+    if (!flight_path_.empty()) {
+      flight_ =
+          std::make_unique<obs::FlightRecorder>(flight_config(args, seed));
     }
   }
 
@@ -186,6 +235,8 @@ class ObservabilityFlags {
   }
   /// Sampler to hand to the workload config, or nullptr when not requested.
   obs::TimeSeries* timeseries() { return ts_.get(); }
+  /// Flight recorder for the run, or nullptr when not requested.
+  obs::FlightRecorder* flight() { return flight_.get(); }
 
   /// Write the requested artifacts; returns 0, or 1 on I/O failure.
   int finish(const ResultBase& res) {
@@ -235,6 +286,23 @@ class ObservabilityFlags {
         rc = 1;
       }
     }
+    if (flight_ != nullptr) {
+      flight_->set_run_info(res.label, !res.mode.empty()
+                                           ? res.mode
+                                           : strategy_name(res.strategy));
+      std::ofstream out(flight_path_);
+      if (out) out << flight_->json() << "\n" << std::flush;
+      if (out.good()) {
+        std::printf("  flight: %s (%llu ops offered, %llu recorded)\n",
+                    flight_path_.c_str(),
+                    static_cast<unsigned long long>(flight_->offered()),
+                    static_cast<unsigned long long>(flight_->recorded()));
+      } else {
+        std::fprintf(stderr, "gputn: cannot write flight dump to '%s'\n",
+                     flight_path_.c_str());
+        rc = 1;
+      }
+    }
     return rc;
   }
 
@@ -242,8 +310,10 @@ class ObservabilityFlags {
   std::string trace_path_;
   std::string stats_path_;
   std::string ts_path_;
+  std::string flight_path_;
   sim::TraceRecorder recorder_;
   std::unique_ptr<obs::TimeSeries> ts_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
 };
 
 /// Write a merged sweep JSON when --stats-json was given; 0 or 1 (I/O).
@@ -277,12 +347,18 @@ int report_sweep(const gputn::exp::RunSummary& summary, int jobs) {
 }
 
 /// `gputn <workload> --replicas R`: the run-point list for seeds S..S+R-1.
-gputn::exp::Plan replica_plan(const WorkloadEntry& entry, RunOptions opts,
-                              const WorkloadParams& params, double loss,
-                              long seed, long replicas) {
+/// `flights`, when non-empty, holds one recorder per replica (plan order);
+/// per-point recorders are what lets --flight compose with --jobs and stay
+/// bit-identical — no replica ever shares recorder state with another.
+gputn::exp::Plan replica_plan(
+    const WorkloadEntry& entry, RunOptions opts, const WorkloadParams& params,
+    double loss, long seed, long replicas,
+    const std::vector<std::unique_ptr<obs::FlightRecorder>>& flights) {
   gputn::exp::Plan plan;
   for (long r = 0; r < replicas; ++r) {
     long s = seed + r;
+    opts.flight = flights.empty() ? nullptr
+                                  : flights[static_cast<std::size_t>(r)].get();
     plan.add_workload(Registry::instance(),
                       entry.name + "/seed" + std::to_string(s), entry.name,
                       opts, params,
@@ -290,6 +366,36 @@ gputn::exp::Plan replica_plan(const WorkloadEntry& entry, RunOptions opts,
                           loss, static_cast<std::uint64_t>(s)));
   }
   return plan;
+}
+
+/// Write the plan-order merged flight dump for a --replicas run; 0 or 1.
+int write_merged_flight(
+    const Args& args, const gputn::exp::RunSummary& summary,
+    const std::vector<std::unique_ptr<obs::FlightRecorder>>& flights) {
+  if (flights.empty()) return 0;
+  std::vector<std::pair<std::string, obs::FlightRecorder*>> points;
+  for (std::size_t i = 0;
+       i < summary.results.size() && i < flights.size(); ++i) {
+    const auto& r = summary.results[i];
+    if (r.ok) {
+      flights[i]->set_run_info(r.result.label,
+                               !r.result.mode.empty()
+                                   ? r.result.mode
+                                   : strategy_name(r.result.strategy));
+    }
+    points.emplace_back(r.id, flights[i].get());
+  }
+  std::string path = args.get("flight", "");
+  std::ofstream out(path);
+  if (out) out << obs::merged_flight_json(std::move(points)) << "\n"
+               << std::flush;
+  if (!out.good()) {
+    std::fprintf(stderr, "gputn: cannot write flight dump to '%s'\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("  flight: %s (%zu points)\n", path.c_str(), flights.size());
+  return 0;
 }
 
 int run_workload(const WorkloadEntry& entry, const Args& args) {
@@ -326,17 +432,27 @@ int run_workload(const WorkloadEntry& entry, const Args& args) {
                    "no sampler); drop --replicas or --timeseries\n");
       return 2;
     }
+    std::vector<std::unique_ptr<obs::FlightRecorder>> flights;
+    if (args.has("flight")) {
+      for (long r = 0; r < replicas; ++r) {
+        flights.push_back(std::make_unique<obs::FlightRecorder>(
+            flight_config(args, seed + r)));
+      }
+    }
     gputn::exp::Runner runner(jobs);
-    gputn::exp::RunSummary summary =
-        runner.run(replica_plan(entry, opts, params, loss, seed, replicas));
+    gputn::exp::RunSummary summary = runner.run(
+        replica_plan(entry, opts, params, loss, seed, replicas, flights));
     int rc = report_sweep(summary, runner.jobs());
     int io_rc = write_sweep_json(args, summary);
-    return rc != 0 ? rc : io_rc;
+    int fl_rc = write_merged_flight(args, summary, flights);
+    if (rc != 0) return rc;
+    return io_rc != 0 ? io_rc : fl_rc;
   }
 
-  ObservabilityFlags obs(args);
+  ObservabilityFlags obs(args, seed);
   opts.trace = obs.trace();
   opts.timeseries = obs.timeseries();
+  opts.flight = obs.flight();
   cluster::SystemConfig sys = cluster::SystemConfig::table2_with_loss(
       loss, static_cast<std::uint64_t>(seed));
 
@@ -417,6 +533,84 @@ int run_report(int argc, char** argv) {
   return rc;
 }
 
+/// `gputn analyze FILE... [--baseline FILE] [--threshold PCT] [--top N]
+///  [--exemplar ID --trace OUT]`. Hand-parsed for the same reason as
+/// `report`: positional file arguments.
+int run_analyze(int argc, char** argv) {
+  obs::AnalyzeOptions opt;
+  std::vector<std::string> files;
+  std::string baseline;
+  std::string trace_out;
+  bool want_exemplar = false;
+  std::uint64_t exemplar = 0;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--baseline") {
+      baseline = value();
+    } else if (a == "--threshold") {
+      char* end = nullptr;
+      opt.threshold_pct = std::strtod(value(), &end);
+      if (end == nullptr || *end != '\0' || opt.threshold_pct < 0.0) usage();
+    } else if (a == "--top") {
+      char* end = nullptr;
+      long n = std::strtol(value(), &end, 10);
+      if (end == nullptr || *end != '\0' || n < 0) usage();
+      opt.top = static_cast<int>(n);
+    } else if (a == "--exemplar") {
+      char* end = nullptr;
+      exemplar = std::strtoull(value(), &end, 10);
+      if (end == nullptr || *end != '\0') usage();
+      want_exemplar = true;
+    } else if (a == "--trace") {
+      trace_out = value();
+    } else if (a.rfind("--", 0) == 0) {
+      usage();
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.empty() || (want_exemplar != !trace_out.empty())) usage();
+  obs::Analysis base;
+  if (!baseline.empty()) {
+    base = obs::analyze_flight(slurp(baseline), baseline);
+  }
+  int rc = 0;
+  for (const std::string& f : files) {
+    obs::Analysis a = obs::analyze_flight(slurp(f), f);
+    std::fputs(obs::render_analysis(a, opt).c_str(), stdout);
+    if (!baseline.empty()) {
+      obs::AnalyzeDiff d = obs::diff_analyses(a, base, opt);
+      std::fputs(d.text.c_str(), stdout);
+      if (d.regressions > 0) rc = 1;
+    }
+    if (want_exemplar) {
+      bool dumped = false;
+      for (const obs::AnalyzedRun& run : a.runs) {
+        if (obs::dump_exemplar_trace(run, exemplar, trace_out)) {
+          std::printf("  exemplar %llu: %s\n",
+                      static_cast<unsigned long long>(exemplar),
+                      trace_out.c_str());
+          dumped = true;
+          break;
+        }
+      }
+      if (!dumped) {
+        std::fprintf(stderr,
+                     "gputn: no op with id %llu in '%s' (or '%s' is not "
+                     "writable)\n",
+                     static_cast<unsigned long long>(exemplar), f.c_str(),
+                     trace_out.c_str());
+        rc = 1;
+      }
+    }
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -429,6 +623,16 @@ int main(int argc, char** argv) {
     // runtime_error -> exit 1; regressions against --baseline also exit 1.
     try {
       return run_report(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "gputn: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (cmd == "analyze") {
+    // Same contract as report: unreadable / malformed dumps exit 1, blame
+    // regressions against --baseline exit 1, a self-diff exits 0.
+    try {
+      return run_analyze(argc, argv);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "gputn: %s\n", e.what());
       return 1;
