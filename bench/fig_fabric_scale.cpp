@@ -1,0 +1,280 @@
+// Scale-out fabric benchmark: allreduce strong scaling on star vs
+// fat-tree(16), both put strategies, plus an incast flow-control
+// microbench (star vs fat-tree, with and without per-port credits).
+//
+// The scaling sweep runs through the parallel experiment engine and is
+// bit-identical at any `--jobs` value; every simulated number is
+// machine-independent, so only wall time varies across runners. The
+// default sweep stops at 256 nodes to keep single-core CI wall time in
+// check; `--full` extends it to 4096 nodes (the fat-tree k=16 capacity
+// ceiling is k^3/4 = 1024, so the 2048/4096 tiers run on k=32).
+//
+// The incast microbench drives the Fabric directly: 15 senders blast one
+// receiver. With credits=0 (the seed's unlimited default) the egress port
+// never stalls; with a finite pool the port saturates, the stall counter
+// moves, and the util.sw.* ledger pins the egress at ~100% busy — the
+// signal `gputn report` renders as SATURATED.
+//
+// Emits BENCH_fabric.json. Usage: fig_fabric_scale [out.json] [--jobs N]
+// [--full]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/sweeps.hpp"
+#include "net/fabric.hpp"
+#include "net/switch.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/units.hpp"
+
+using namespace gputn;
+
+namespace {
+
+struct ScalePoint {
+  int nodes = 0;
+  std::string topology;
+  double cpu_us = 0.0;
+  double gputn_us = 0.0;
+  bool correct = false;
+};
+
+// ---------------------------------------------------------------------------
+// Incast microbench: raw Fabric, no nodes, one contended egress port.
+
+class CountingSink : public net::MessageSink {
+ public:
+  explicit CountingSink(sim::Simulator& sim) : sim_(&sim) {}
+  void deliver(net::Message&&) override {
+    ++received;
+    last_arrival = sim_->now();
+  }
+  sim::Simulator* sim_;
+  std::size_t received = 0;
+  sim::Tick last_arrival = 0;
+};
+
+struct IncastResult {
+  std::string topology;
+  int credits = 0;
+  double finish_us = 0.0;
+  std::uint64_t credit_stalls = 0;
+  double max_port_busy_pct = 0.0;
+  bool saturated = false;
+  bool deterministic = false;
+};
+
+net::FabricConfig incast_config(const std::string& topology, int credits) {
+  net::FabricConfig c;
+  c.topology = topology;
+  c.routing = "deterministic";
+  c.credits_per_port = credits;
+  return c;  // Table 2 wire parameters are the defaults
+}
+
+sim::Tick incast_once(const std::string& topology, int credits,
+                      std::uint64_t* stalls, double* busy_pct) {
+  const int nodes = 16;
+  const int bursts = 20;
+  sim::Simulator sim;
+  net::Fabric fabric(sim, incast_config(topology, credits));
+  std::vector<std::unique_ptr<CountingSink>> sinks;
+  for (int i = 0; i < nodes; ++i) {
+    sinks.push_back(std::make_unique<CountingSink>(sim));
+    fabric.add_node(sinks.back().get());
+  }
+  for (int b = 0; b < bursts; ++b) {
+    for (int src = 1; src < nodes; ++src) {
+      net::Message m;
+      m.src = src;
+      m.dst = 0;
+      m.kind = 1;
+      m.payload.resize(8192, std::byte{0x5a});
+      fabric.send(std::move(m));
+    }
+  }
+  sim.run();
+  if (sinks[0]->received != static_cast<std::size_t>(bursts * (nodes - 1))) {
+    std::fprintf(stderr, "fig_fabric_scale: incast lost messages on %s\n",
+                 topology.c_str());
+    std::exit(1);
+  }
+  *stalls = 0;
+  for (int s = 0; s < fabric.switch_count(); ++s) {
+    *stalls += fabric.switch_at(s).credit_stalls();
+  }
+  // Worst per-port credit occupancy across the fabric, out of the same
+  // util.sw.* ledger `gputn report` ranks.
+  sim::StatRegistry reg;
+  fabric.export_stats(reg);
+  double window = static_cast<double>(sim.now());
+  double worst = 0.0;
+  for (const auto& [name, value] : reg.counters()) {
+    if (name.rfind("util.sw.", 0) != 0) continue;
+    if (name.size() < 8 || name.substr(name.size() - 8) != ".busy_ps") {
+      continue;
+    }
+    std::string base = name.substr(0, name.size() - 8);
+    std::uint64_t cap = reg.counter_value(base + ".capacity");
+    if (cap == 0 || window <= 0.0) continue;
+    worst = std::max(worst, 100.0 * static_cast<double>(value) /
+                                (static_cast<double>(cap) * window));
+  }
+  *busy_pct = worst;
+  sim::Tick finish = sinks[0]->last_arrival;
+  sim.reap_processes();
+  return finish;
+}
+
+IncastResult run_incast(const std::string& topology, int credits) {
+  IncastResult r;
+  r.topology = topology;
+  r.credits = credits;
+  std::uint64_t stalls = 0;
+  double busy = 0.0;
+  sim::Tick t1 = incast_once(topology, credits, &stalls, &busy);
+  std::uint64_t stalls2 = 0;
+  double busy2 = 0.0;
+  sim::Tick t2 = incast_once(topology, credits, &stalls2, &busy2);
+  r.finish_us = sim::to_us(t1);
+  r.credit_stalls = stalls;
+  r.max_port_busy_pct = busy;
+  r.saturated = busy > 90.0;
+  r.deterministic = (t1 == t2 && stalls == stalls2 && busy == busy2);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_fabric.json";
+  if (argc > 1 && std::strncmp(argv[1], "--", 2) != 0) out_path = argv[1];
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+  }
+
+  // 64 KB payload: past 256 ranks the per-rank chunks are tiny, so the
+  // sweep measures fabric traversal + software path, not serialization.
+  const std::size_t elements = 16 * 1024;
+  std::vector<int> nodes = {64, 128, 256};
+  if (full) {
+    nodes.push_back(512);
+    nodes.push_back(1024);
+    nodes.push_back(4096);
+  }
+  auto fat_tree_for = [](int n) {
+    return n <= 1024 ? std::string("fat-tree:k=16")
+                     : std::string("fat-tree:k=32");
+  };
+
+  // One plan per node count so each tier can pick the fat-tree radix that
+  // actually fits; plan order within a tier is topology-major with
+  // {CPU, GPU-TN} inner.
+  exp::Runner runner(exp::jobs_from_args(argc, argv));
+  std::vector<ScalePoint> points;
+  for (int n : nodes) {
+    exp::RunSummary tier = runner.run(
+        exp::fabric_scale_plan({n}, {"star", fat_tree_for(n)}, elements));
+    for (const exp::RunResult& r : tier.results) {
+      if (!r.ok) {
+        std::fprintf(stderr, "fig_fabric_scale: %s failed: %s\n",
+                     r.id.c_str(), r.error.c_str());
+        return 1;
+      }
+    }
+    for (std::size_t ti = 0; ti < 2; ++ti) {
+      const exp::RunResult* row = &tier.results[ti * 2];
+      ScalePoint p;
+      p.nodes = n;
+      p.topology = ti == 0 ? "star" : fat_tree_for(n);
+      p.cpu_us = sim::to_us(row[0].result.total_time);
+      p.gputn_us = sim::to_us(row[1].result.total_time);
+      p.correct = row[0].result.correct && row[1].result.correct;
+      points.push_back(p);
+    }
+  }
+
+  std::printf("Fabric strong scaling: 64KB fp32 ring allreduce%s\n\n",
+              full ? " (--full)" : "");
+  std::printf("%6s %16s %12s %12s %8s   %s\n", "nodes", "topology", "CPU us",
+              "GPU-TN us", "speedup", "verified");
+  for (const ScalePoint& p : points) {
+    std::printf("%6d %16s %12.1f %12.1f %8.3f   %s\n", p.nodes,
+                p.topology.c_str(), p.cpu_us, p.gputn_us,
+                p.cpu_us / p.gputn_us, p.correct ? "ok" : "MISMATCH");
+  }
+
+  // Multi-hop tax at the largest common tier: fat-tree over star, GPU-TN.
+  double fat_over_star = 0.0;
+  for (std::size_t i = 0; i + 1 < points.size(); i += 2) {
+    fat_over_star = points[i + 1].gputn_us / points[i].gputn_us;
+  }
+  std::printf("\nfat-tree/star GPU-TN time ratio at %d nodes: %.3fx\n",
+              points[points.size() - 1].nodes, fat_over_star);
+
+  std::vector<IncastResult> incast;
+  for (const char* topo : {"star", "fat-tree:k=4"}) {
+    for (int credits : {0, 2}) {
+      incast.push_back(run_incast(topo, credits));
+    }
+  }
+  std::printf("\nincast (15 senders x 20 msgs -> node 0):\n");
+  std::printf("%16s %8s %10s %8s %10s %6s %6s\n", "topology", "credits",
+              "finish us", "stalls", "busy %", "sat", "det");
+  for (const IncastResult& r : incast) {
+    std::printf("%16s %8d %10.2f %8llu %10.1f %6s %6s\n", r.topology.c_str(),
+                r.credits, r.finish_us,
+                static_cast<unsigned long long>(r.credit_stalls),
+                r.max_port_busy_pct, r.saturated ? "yes" : "no",
+                r.deterministic ? "yes" : "NO");
+  }
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"elements\": " << elements << ",\n"
+      << "  \"full\": " << (full ? "true" : "false") << ",\n"
+      << "  \"fat_tree_over_star_at_max\": " << fat_over_star << ",\n"
+      << "  \"scaling\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ScalePoint& p = points[i];
+    out << "    {\"nodes\": " << p.nodes << ", \"topology\": \"" << p.topology
+        << "\", \"cpu_us\": " << p.cpu_us << ", \"gputn_us\": " << p.gputn_us
+        << ", \"speedup\": " << p.cpu_us / p.gputn_us
+        << ", \"correct\": " << (p.correct ? "true" : "false") << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"incast\": [\n";
+  for (std::size_t i = 0; i < incast.size(); ++i) {
+    const IncastResult& r = incast[i];
+    out << "    {\"topology\": \"" << r.topology
+        << "\", \"credits\": " << r.credits
+        << ", \"finish_us\": " << r.finish_us
+        << ", \"credit_stalls\": " << r.credit_stalls
+        << ", \"max_port_busy_pct\": " << r.max_port_busy_pct
+        << ", \"saturated\": " << (r.saturated ? "true" : "false")
+        << ", \"deterministic\": " << (r.deterministic ? "true" : "false")
+        << "}" << (i + 1 < incast.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  if (!out.good()) {
+    std::fprintf(stderr, "fig_fabric_scale: cannot write %s\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
+
+  bool ok = true;
+  for (const ScalePoint& p : points) ok = ok && p.correct;
+  for (const IncastResult& r : incast) {
+    ok = ok && r.deterministic;
+    if (r.credits > 0) ok = ok && r.credit_stalls > 0;
+    if (r.credits == 0) ok = ok && r.credit_stalls == 0;
+  }
+  return ok ? 0 : 1;
+}

@@ -31,6 +31,10 @@ Cluster::Cluster(sim::Simulator& sim, SystemConfig config, int node_count)
   for (int i = 0; i < node_count; ++i) {
     nodes_.push_back(std::make_unique<Node>(sim, fabric_, config_));
   }
+  // All nodes are attached: build the switch graph now, so a bad topology
+  // spec throws std::invalid_argument here instead of surfacing as a
+  // mysterious stall on the first in-simulation send.
+  fabric_.finalize();
 }
 
 void Cluster::export_net_stats(sim::StatRegistry& out, sim::Tick window) const {

@@ -40,7 +40,8 @@ std::string SystemConfig::describe() const {
       "GPU:      %d CUs @ %.1f GHz, launch %.2f us, teardown %.2f us\n"
       "NIC:      doorbell %.0f ns, cmd fetch %.0f ns, rx pipe %.0f ns\n"
       "Trigger:  lookup=%s, entries=%d, update %.0f ns\n"
-      "Network:  %.0f Gbps, link %.0f ns, switch %.0f ns, MTU %u B, star\n"
+      "Network:  %.0f Gbps, link %.0f ns, switch %.0f ns, MTU %u B, "
+      "%s/%s%s\n"
       "Faults:   %s (loss %.4f, corrupt %.4f, jitter <= %.0f ns, %zu scripted)\n"
       "DRAM:     %llu MiB per node\n",
       cpu.cores, cpu.clock_ghz, cpu.flops_per_core_per_cycle,
@@ -54,7 +55,11 @@ std::string SystemConfig::describe() const {
       triggered.table.associative_entries, sim::to_ns(triggered.update_cost),
       fabric.bandwidth.bytes_per_second() * 8 / 1e9,
       sim::to_ns(fabric.link_latency), sim::to_ns(fabric.switch_latency),
-      fabric.mtu_bytes,
+      fabric.mtu_bytes, fabric.topology.c_str(), fabric.routing.c_str(),
+      fabric.credits_per_port > 0
+          ? (", " + std::to_string(fabric.credits_per_port) +
+             " credits/port").c_str()
+          : "",
       fault.enabled() ? "injected (reliable delivery on)" : "none (lossless)",
       fault.default_profile.loss_rate, fault.default_profile.corrupt_rate,
       sim::to_ns(fault.default_profile.jitter_max), fault.script.size(),

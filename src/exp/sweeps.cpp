@@ -165,6 +165,27 @@ Plan serve_skew_plan(const std::vector<double>& skews,
   return plan;
 }
 
+Plan fabric_scale_plan(const std::vector<int>& node_counts,
+                       const std::vector<std::string>& topologies,
+                       std::size_t elements, const std::string& routing) {
+  Plan plan;
+  for (int nodes : node_counts) {
+    for (const std::string& topo : topologies) {
+      for (Strategy s : {Strategy::kCpu, Strategy::kGpuTn}) {
+        AllreduceConfig cfg;
+        cfg.strategy = s;
+        cfg.nodes = nodes;
+        cfg.elements = elements;
+        cfg.topology = topo;
+        cfg.routing = routing;
+        plan.add("fabric/p" + num(nodes) + "/" + topo + "/" + strategy_name(s),
+                 [cfg] { return workloads::run_allreduce(cfg); });
+      }
+    }
+  }
+  return plan;
+}
+
 Plan mini_sweep_plan() {
   Plan plan;
   plan.append(fig09_plan({16, 32, 64}, /*iterations=*/5));

@@ -19,10 +19,13 @@
 //   serve_load_plan:     for each offered load (req/s per tenant),
 //                        {CPU, GPU-TN}.
 //   serve_skew_plan:     for each Zipf skew, {CPU, GPU-TN}.
+//   fabric_scale_plan:   for each node count, for each topology spec,
+//                        {CPU, GPU-TN}.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -65,6 +68,16 @@ Plan serve_load_plan(const std::vector<double>& offered_loads,
 /// Serving: CPU vs GPU-TN per Zipf skew at a fixed offered load.
 Plan serve_skew_plan(const std::vector<double>& skews,
                      serve::ServeConfig base = {});
+
+/// Scale-out fabric: ring allreduce strong scaling per node count x
+/// topology spec (net::TopologyFactory strings, e.g. "star",
+/// "fat-tree:k=16") x {CPU, GPU-TN}. Point ids are
+/// "fabric/p<nodes>/<topology>/<strategy>". `routing` applies to every
+/// point ("" = config default).
+Plan fabric_scale_plan(const std::vector<int>& node_counts,
+                       const std::vector<std::string>& topologies,
+                       std::size_t elements,
+                       const std::string& routing = "");
 
 /// The fig09 + fig10 + ablation mini-sweep: small-parameter versions of the
 /// plans above concatenated in a fixed order. This is the workload for

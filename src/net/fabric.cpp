@@ -6,36 +6,23 @@
 namespace gputn::net {
 
 Fabric::Fabric(sim::Simulator& sim, FabricConfig config)
-    : sim_(&sim), config_(config), switch_(sim, config.switch_latency) {}
+    : sim_(&sim), config_(std::move(config)) {}
 
 NodeId Fabric::add_node(MessageSink* sink) {
+  if (topo_ != nullptr) {
+    throw std::logic_error("fabric: add_node after the switch graph was "
+                           "finalized (all nodes must attach before traffic)");
+  }
   NodeId id = static_cast<NodeId>(sinks_.size());
   sinks_.push_back(sink);
   uplinks_.push_back(std::make_unique<Link>(
       *sim_, "up" + std::to_string(id), config_.bandwidth,
-      config_.link_latency, [this](Packet&& p) { switch_.forward(std::move(p)); }));
+      config_.link_latency,
+      [this, id](Packet&& p) { inject(id, std::move(p)); }));
   downlinks_.push_back(std::make_unique<Link>(
       *sim_, "down" + std::to_string(id), config_.bandwidth,
-      config_.link_latency, [this](Packet&& p) {
-        auto flight = p.flight;
-        if (--flight->packets_remaining == 0) {
-          flight->msg.corrupted = flight->corrupted;
-          flight->msg.t_rx = sim_->now();
-          flight->msg.t_switch = flight->t_switch;
-          if (trace_ != nullptr && flight->msg.flow != 0 &&
-              flight->msg.t_wire >= 0) {
-            // One span per message (not per packet) covering its whole
-            // time on the wire, on the destination's downlink lane.
-            std::string lane = "net.down" + std::to_string(flight->msg.dst);
-            trace_->span(lane, "msg", "net", flight->msg.t_wire,
-                         flight->msg.t_rx, flow_args(flight->msg));
-            trace_->flow_step(lane, "msg", "flow", flight->msg.t_wire,
-                              flight->msg.flow);
-          }
-          flight->sink->deliver(std::move(flight->msg));
-        }
-      }));
-  switch_.attach_output(id, downlinks_.back().get());
+      config_.link_latency,
+      [this, id](Packet&& p) { deliver(id, std::move(p)); }));
   if (fault_provider_) {
     uplinks_.back()->set_fault_injector(
         fault_provider_(uplinks_.back()->name()));
@@ -45,23 +32,129 @@ NodeId Fabric::add_node(MessageSink* sink) {
   return id;
 }
 
+void Fabric::finalize() {
+  if (topo_ != nullptr) return;
+  topo_ = TopologyFactory::instance().make(config_.topology, node_count());
+  router_ = RouterFactory::instance().make(config_.routing);
+  int nsw = topo_->switch_count();
+  switches_.reserve(static_cast<std::size_t>(nsw));
+  for (int s = 0; s < nsw; ++s) {
+    switches_.push_back(std::make_unique<Switch>(
+        *sim_, s, topo_->radix(s), config_.switch_latency,
+        config_.credits_per_port));
+    switches_.back()->set_router(topo_.get(), router_.get());
+  }
+  host_port_.resize(sinks_.size());
+  for (NodeId n = 0; n < node_count(); ++n) host_port_[n] = topo_->host(n);
+  for (int s = 0; s < nsw; ++s) {
+    for (int p = 0; p < topo_->radix(s); ++p) {
+      PortPeer peer = topo_->peer(s, p);
+      if (peer.kind == PortPeer::Kind::kNode) {
+        // Host slots beyond the attached node count stay idle (unwired).
+        if (peer.index < node_count()) {
+          switches_[static_cast<std::size_t>(s)]->attach_output(
+              p, downlinks_[static_cast<std::size_t>(peer.index)].get());
+        }
+      } else if (peer.kind == PortPeer::Kind::kSwitch) {
+        // One directed trunk per transmitting port; the receiving switch
+        // dequeues into its crossbar and returns the port's credit there.
+        trunks_.push_back(std::make_unique<Link>(
+            *sim_, "sw" + std::to_string(s) + "p" + std::to_string(p),
+            config_.bandwidth, config_.link_latency,
+            [this, t = peer.index, s, p](Packet&& pk) {
+              switches_[static_cast<std::size_t>(t)]->arrive(
+                  std::move(pk), switches_[static_cast<std::size_t>(s)].get(),
+                  p);
+            }));
+        if (fault_provider_) {
+          trunks_.back()->set_fault_injector(
+              fault_provider_(trunks_.back()->name()));
+        }
+        switches_[static_cast<std::size_t>(s)]->attach_output(
+            p, trunks_.back().get());
+      }
+    }
+  }
+  apply_trace();
+}
+
+const Topology& Fabric::topology() {
+  finalize();
+  return *topo_;
+}
+
+const Router& Fabric::router() {
+  finalize();
+  return *router_;
+}
+
+int Fabric::switch_count() {
+  finalize();
+  return static_cast<int>(switches_.size());
+}
+
+Switch& Fabric::switch_at(int id) {
+  finalize();
+  return *switches_.at(static_cast<std::size_t>(id));
+}
+
+int Fabric::hop_count(NodeId src, NodeId dst) {
+  finalize();
+  return topo_->hop_count(src, dst);
+}
+
+void Fabric::inject(NodeId src, Packet&& p) {
+  switches_[static_cast<std::size_t>(host_port_[static_cast<std::size_t>(src)]
+                                         .sw)]
+      ->arrive(std::move(p), nullptr, 0);
+}
+
+void Fabric::deliver(NodeId dst, Packet&& p) {
+  auto flight = p.flight;
+  if (--flight->packets_remaining == 0) {
+    flight->msg.corrupted = flight->corrupted;
+    flight->msg.t_rx = sim_->now();
+    flight->msg.t_switch = flight->t_switch;
+    if (trace_ != nullptr && flight->msg.flow != 0 &&
+        flight->msg.t_wire >= 0) {
+      // One span per message (not per packet) covering its whole time on
+      // the wire, on the destination's downlink lane.
+      std::string lane = "net.down" + std::to_string(flight->msg.dst);
+      trace_->span(lane, "msg", "net", flight->msg.t_wire, flight->msg.t_rx,
+                   flow_args(flight->msg));
+      trace_->flow_step(lane, "msg", "flow", flight->msg.t_wire,
+                        flight->msg.flow);
+    }
+    flight->sink->deliver(std::move(flight->msg));
+  }
+  // Host ejection is the downstream dequeue of the egress switch port:
+  // return its credit (per packet, after delivery bookkeeping).
+  const HostPort& hp = host_port_[static_cast<std::size_t>(dst)];
+  switches_[static_cast<std::size_t>(hp.sw)]->credit_return(hp.port);
+}
+
 void Fabric::set_fault_injector_provider(
     std::function<FaultInjector*(const std::string&)> provider) {
   fault_provider_ = std::move(provider);
-  for (auto& l : uplinks_) {
-    l->set_fault_injector(fault_provider_ ? fault_provider_(l->name())
-                                          : nullptr);
-  }
-  for (auto& l : downlinks_) {
-    l->set_fault_injector(fault_provider_ ? fault_provider_(l->name())
-                                          : nullptr);
-  }
+  auto apply = [&](Link& l) {
+    l.set_fault_injector(fault_provider_ ? fault_provider_(l.name())
+                                         : nullptr);
+  };
+  for (auto& l : uplinks_) apply(*l);
+  for (auto& l : downlinks_) apply(*l);
+  for (auto& l : trunks_) apply(*l);
 }
 
 void Fabric::export_stats(sim::StatRegistry& reg) const {
   reg.counter("net.messages") += messages_;
   reg.counter("net.bytes") += bytes_;
-  reg.counter("net.switch.packets") += switch_.packets_forwarded();
+  std::uint64_t sw_packets = 0, stalls = 0;
+  for (const auto& s : switches_) {
+    sw_packets += s->packets_forwarded();
+    stalls += s->credit_stalls();
+  }
+  reg.counter("net.switch.packets") += sw_packets;
+  if (stalls > 0) reg.counter("net.credit_stalls") += stalls;
   std::uint64_t link_bytes = 0, link_packets = 0, link_drops = 0,
                 link_corrupt = 0;
   auto per_link = [&](const Link& l) {
@@ -80,15 +173,38 @@ void Fabric::export_stats(sim::StatRegistry& reg) const {
   };
   for (const auto& l : uplinks_) per_link(*l);
   for (const auto& l : downlinks_) per_link(*l);
+  for (const auto& l : trunks_) per_link(*l);
   reg.counter("net.link.bytes") += link_bytes;
   reg.counter("net.link.packets") += link_packets;
   reg.counter("net.link.drops") += link_drops;
   reg.counter("net.link.corruptions") += link_corrupt;
+  // Per-port credit/queue ledgers carry meaning only under flow control;
+  // export the ports that saw traffic or pressure.
+  if (config_.credits_per_port > 0) {
+    for (const auto& s : switches_) {
+      for (int p = 0; p < s->radix(); ++p) {
+        const obs::BusyTracker& u = s->port_util(p);
+        if (u.ops() == 0 && u.queue_max() == 0) continue;
+        u.export_into(reg,
+                      "util.sw." + std::to_string(s->id()) + ".port" +
+                          std::to_string(p),
+                      sim_->now());
+      }
+    }
+  }
+}
+
+void Fabric::apply_trace() {
+  bool single = switches_.size() == 1;
+  for (auto& s : switches_) {
+    s->set_trace(trace_, single ? "net.switch"
+                                : "net.sw" + std::to_string(s->id()));
+  }
 }
 
 void Fabric::set_trace(sim::TraceRecorder* trace) {
   trace_ = trace;
-  switch_.set_trace(trace);
+  apply_trace();
 }
 
 void Fabric::send(Message&& msg) {
@@ -96,6 +212,7 @@ void Fabric::send(Message&& msg) {
       msg.dst >= node_count()) {
     throw std::out_of_range("fabric: send with unknown src/dst node");
   }
+  finalize();
   // Observability stamps. NICs stamp `flow` at first tx; anything else that
   // reaches the wire (ACK/NACK control traffic, direct fabric users) gets a
   // fallback id here. t_wire is re-stamped per wire copy, so a retransmit
@@ -105,12 +222,15 @@ void Fabric::send(Message&& msg) {
   if (msg.flow == 0) msg.flow = next_flow();
   msg.t_wire = sim_->now();
   if (msg.t_wire_first < 0) msg.t_wire_first = msg.t_wire;
+  // Deterministic-route switch count for the analyzer's per-hop ideal wire
+  // model; candidate minimality makes it route-independent (topology_api).
+  msg.hops = static_cast<std::uint32_t>(topo_->hop_count(msg.src, msg.dst));
   ++messages_;
   std::uint64_t wire = config_.header_bytes + msg.payload_bytes();
   bytes_ += wire;
 
   auto flight = std::make_shared<MessageInFlight>();
-  flight->sink = sinks_[msg.dst];
+  flight->sink = sinks_[static_cast<std::size_t>(msg.dst)];
   NodeId src = msg.src;
   flight->msg = std::move(msg);
 
@@ -118,7 +238,7 @@ void Fabric::send(Message&& msg) {
   // per-packet overhead on the wire.
   std::uint64_t remaining = wire;
   int packets = 0;
-  Link* up = uplinks_[src].get();
+  Link* up = uplinks_[static_cast<std::size_t>(src)].get();
   std::vector<Packet> pkts;
   while (remaining > 0) {
     std::uint64_t chunk = remaining < config_.mtu_bytes ? remaining
@@ -146,6 +266,24 @@ sim::Tick Fabric::ideal_latency(std::uint64_t payload_bytes) const {
   return config_.bandwidth.serialize(total_wire) +
          config_.bandwidth.serialize(first_pkt) + 2 * config_.link_latency +
          config_.switch_latency;
+}
+
+sim::Tick Fabric::ideal_latency(std::uint64_t payload_bytes, NodeId src,
+                                NodeId dst) {
+  finalize();
+  std::int64_t h = topo_->hop_count(src, dst);
+  std::uint64_t wire = config_.header_bytes + payload_bytes;
+  std::uint64_t first_pkt =
+      std::min<std::uint64_t>(wire, config_.mtu_bytes) +
+      config_.per_packet_overhead;
+  std::uint64_t packets = (wire + config_.mtu_bytes - 1) / config_.mtu_bytes;
+  std::uint64_t total_wire = wire + packets * config_.per_packet_overhead;
+  // The message's total serialization is paid once (hops pipeline), every
+  // later link adds only the lead packet's serialization; h switches mean
+  // h + 1 links and h crossbar latencies. h == 1 reduces to the star form.
+  return config_.bandwidth.serialize(total_wire) +
+         h * config_.bandwidth.serialize(first_pkt) +
+         (h + 1) * config_.link_latency + h * config_.switch_latency;
 }
 
 }  // namespace gputn::net

@@ -1,10 +1,18 @@
-// Network fabric: ties NICs, links, and the switch together.
+// Network fabric: ties NICs, links, switches, topology and routing together.
 //
-// Topology (Table 2): star — every node has an uplink to a single central
-// switch and a downlink from it. A message is packetized at the transmitter
-// into MTU-sized packets which pipeline through uplink -> switch -> downlink;
-// the destination sink receives the whole Message when the last packet
-// lands. Per-path FIFO ordering is guaranteed by construction.
+// The fabric's shape is pluggable (FabricConfig::topology, a spec string
+// resolved through net::TopologyFactory): the default "star" reproduces the
+// paper's Table 2 single-switch network exactly, while "fat-tree:k=8",
+// "torus:4x4x4" and "dragonfly:a=4,h=2,p=2" build multi-switch fabrics with
+// inter-switch trunk links and per-port credit-based flow control
+// (net/switch.hpp). A message is packetized at the transmitter into
+// MTU-sized packets which pipeline through uplink -> switch graph ->
+// downlink; the destination sink receives the whole Message when the last
+// packet lands. With the deterministic router every (src, dst) pair uses
+// one path, so per-flow FIFO ordering holds by construction; the adaptive
+// router may spread a pair across paths and reorder *messages*, but a
+// single message always survives intact (delivery counts packets, not
+// arrival order).
 #pragma once
 
 #include <cstdint>
@@ -16,7 +24,9 @@
 #include "net/buffer_pool.hpp"
 #include "net/link.hpp"
 #include "net/message.hpp"
+#include "net/routing_api.hpp"
 #include "net/switch.hpp"
+#include "net/topology_api.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
 
@@ -29,6 +39,15 @@ struct FabricConfig {
   std::uint32_t mtu_bytes = 4096;
   std::uint32_t header_bytes = 64;  ///< wire overhead per message header
   std::uint32_t per_packet_overhead = 16;
+  /// Topology spec resolved through TopologyFactory at finalize():
+  /// "star" | "fat-tree:k=8" | "torus:4x4x4" | "dragonfly:a=4,h=2,p=2".
+  std::string topology = "star";
+  /// Routing policy resolved through RouterFactory ("deterministic" |
+  /// "adaptive").
+  std::string routing = "deterministic";
+  /// Switch output-port credits (0 = unlimited, the seed's idealized
+  /// lossless behavior). See net/switch.hpp for the credit model.
+  int credits_per_port = 0;
 };
 
 /// State shared by all packets of one in-flight message.
@@ -39,9 +58,9 @@ struct MessageInFlight {
   /// Latched when fault injection corrupts any packet; copied into
   /// Message::corrupted on delivery.
   bool corrupted = false;
-  /// First packet's arrival at the switch (-1 until then); copied into
-  /// Message::t_switch on delivery so the flight recorder can split wire
-  /// serialization from switch queueing.
+  /// First packet's arrival at the first switch (-1 until then); copied
+  /// into Message::t_switch on delivery so the flight recorder can split
+  /// wire serialization from switch queueing.
   std::int64_t t_switch = -1;
 };
 
@@ -52,32 +71,56 @@ class Fabric {
   Fabric& operator=(const Fabric&) = delete;
 
   /// Register a node's receive sink; returns its NodeId. All nodes must be
-  /// added before the first send.
+  /// added before the first send (the switch graph is built from the final
+  /// node count).
   NodeId add_node(MessageSink* sink);
 
   int node_count() const { return static_cast<int>(sinks_.size()); }
   const FabricConfig& config() const { return config_; }
+
+  /// Build the topology, switches and trunk links for the current node
+  /// count. Idempotent; called implicitly by the first send. Throws
+  /// std::invalid_argument on an unknown/malformed topology or routing
+  /// spec, or when the topology lacks capacity for the attached nodes.
+  void finalize();
+  bool finalized() const { return topo_ != nullptr; }
+
+  /// The resolved topology/routing (finalizes on first use).
+  const Topology& topology();
+  const Router& router();
+  int switch_count();
+  Switch& switch_at(int id);
+
+  /// Switches traversed src -> dst (1 on a star); finalizes on first use.
+  int hop_count(NodeId src, NodeId dst);
 
   /// Hand a message to the wire. The transmitting NIC calls this after its
   /// DMA has staged the payload; serialization contention on the uplink is
   /// modelled by the link itself.
   void send(Message&& msg);
 
-  /// Wire latency of a `bytes`-byte message with an idle network (useful to
-  /// sanity-check calibration in tests).
+  /// Wire latency of a `bytes`-byte message crossing one switch with an
+  /// idle network — the star reference figure (useful to sanity-check
+  /// calibration in tests, and replicated by obs::ideal_wire_ps for the
+  /// analyzer's blame split).
   sim::Tick ideal_latency(std::uint64_t payload_bytes) const;
+
+  /// Hop-count-aware ideal latency src -> dst on this fabric's topology
+  /// (equals the 1-arg form on a star). Finalizes on first use.
+  sim::Tick ideal_latency(std::uint64_t payload_bytes, NodeId src, NodeId dst);
 
   std::uint64_t messages_sent() const { return messages_; }
   std::uint64_t bytes_sent() const { return bytes_; }
 
   /// Install a per-link fault-injector factory (called with the link name,
-  /// e.g. "up3"/"down0"; may return nullptr for a lossless link). Applies
-  /// to links already built and to links of nodes added later.
+  /// e.g. "up3"/"down0"/"sw0p4"; may return nullptr for a lossless link).
+  /// Applies to links already built and to links built later.
   void set_fault_injector_provider(
       std::function<FaultInjector*(const std::string&)> provider);
 
   /// Publish fabric-level counters (messages/bytes, per-link utilisation,
-  /// switch forwards, injected drops) into `reg`, prefixed "net.".
+  /// switch forwards, credit stalls, per-port credit/queue ledgers when
+  /// flow control is on) into `reg`, prefixed "net."/"util.".
   void export_stats(sim::StatRegistry& reg) const;
 
   /// Allocate the next monotonic flow id (see Message::flow). Shared by
@@ -85,9 +128,10 @@ class Fabric {
   /// independent of tracing so runs are identical with tracing off.
   std::uint64_t next_flow() { return ++flow_counter_; }
 
-  /// Attach a trace recorder: per-message spans land on "net.switch" and
-  /// "net.down<dst>" lanes with flow steps so viewer arrows pass through
-  /// the fabric. nullptr detaches.
+  /// Attach a trace recorder: per-message spans land on the switch lanes
+  /// ("net.switch" on a single-switch fabric, "net.sw<id>" otherwise) and
+  /// "net.down<dst>" with flow steps so viewer arrows pass through the
+  /// fabric. nullptr detaches.
   void set_trace(sim::TraceRecorder* trace);
 
   Link& uplink(NodeId id) { return *uplinks_.at(id); }
@@ -100,12 +144,25 @@ class Fabric {
   BufferPool& payload_pool() { return payload_pool_; }
 
  private:
+  /// Uplink terminus: hand a packet from node `src` to its edge switch.
+  void inject(NodeId src, Packet&& p);
+  /// Downlink terminus: per-packet delivery bookkeeping for node `dst`,
+  /// then return the egress port's credit.
+  void deliver(NodeId dst, Packet&& p);
+  void apply_trace();
+
   sim::Simulator* sim_;
   FabricConfig config_;
-  Switch switch_;
-  // Per node: uplink (node -> switch) and downlink (switch -> node).
+  std::unique_ptr<Topology> topo_;      // null until finalize()
+  std::unique_ptr<Router> router_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  // Per node: uplink (node -> edge switch) and downlink (egress switch ->
+  // node); multi-switch topologies add directed trunk links ("sw<s>p<p>",
+  // named for their transmitting port).
   std::vector<std::unique_ptr<Link>> uplinks_;
   std::vector<std::unique_ptr<Link>> downlinks_;
+  std::vector<std::unique_ptr<Link>> trunks_;
+  std::vector<HostPort> host_port_;  // per node, filled at finalize()
   std::vector<MessageSink*> sinks_;
   std::function<FaultInjector*(const std::string&)> fault_provider_;
   std::uint64_t messages_ = 0;

@@ -68,6 +68,10 @@ struct Message {
   /// retransmission-window copy before each resend, so the copy that is
   /// finally accepted reports how many extra wire attempts it cost.
   std::uint32_t retransmits = 0;
+  /// Switches this message traverses src -> dst, stamped by the fabric at
+  /// send from the topology's deterministic route (1 on a star). The
+  /// flight recorder needs it to compute the per-hop ideal wire latency.
+  std::uint32_t hops = 1;
   /// Per-stage timestamps in simulator ticks (picoseconds); -1 marks a
   /// stage that did not occur for this message. Pure bookkeeping: stamping
   /// never schedules events or adds delay, so latency accounting cannot

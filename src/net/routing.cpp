@@ -1,0 +1,107 @@
+// Built-in routing policies (see routing_api.hpp for the contract).
+#include "net/routing_api.hpp"
+
+#include <stdexcept>
+
+namespace gputn::net {
+
+RouterFactory& RouterFactory::instance() {
+  static RouterFactory factory;
+  return factory;
+}
+
+void RouterFactory::add(std::string name, Builder builder) {
+  builders_[std::move(name)] = std::move(builder);
+}
+
+std::unique_ptr<Router> RouterFactory::make(const std::string& name) const {
+  detail::link_builtin_routers();
+  auto it = builders_.find(name);
+  if (it == builders_.end()) {
+    std::string known;
+    for (const auto& [k, b] : builders_) {
+      if (!known.empty()) known += "|";
+      known += k;
+    }
+    throw std::invalid_argument("unknown routing policy '" + name + "' (" +
+                                known + ")");
+  }
+  return it->second();
+}
+
+std::vector<std::string> RouterFactory::names() const {
+  std::vector<std::string> out;
+  for (const auto& [k, b] : builders_) out.push_back(k);
+  return out;
+}
+
+RouterRegistrar::RouterRegistrar(const char* name,
+                                 RouterFactory::Builder builder) {
+  RouterFactory::instance().add(name, std::move(builder));
+}
+
+namespace {
+
+class DeterministicRouter final : public Router {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "deterministic";
+    return n;
+  }
+  int select(const Topology& topo, int sw, NodeId dst,
+             const std::function<int(int)>& depth,
+             std::vector<int>& scratch) const override {
+    (void)depth;
+    topo.candidates(sw, dst, scratch);
+    if (scratch.empty()) {
+      throw std::logic_error("router: no candidate port at switch " +
+                             std::to_string(sw) + " for node " +
+                             std::to_string(dst));
+    }
+    return scratch.front();
+  }
+};
+
+class AdaptiveRouter final : public Router {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "adaptive";
+    return n;
+  }
+  int select(const Topology& topo, int sw, NodeId dst,
+             const std::function<int(int)>& depth,
+             std::vector<int>& scratch) const override {
+    topo.candidates(sw, dst, scratch);
+    if (scratch.empty()) {
+      throw std::logic_error("router: no candidate port at switch " +
+                             std::to_string(sw) + " for node " +
+                             std::to_string(dst));
+    }
+    // Strict < keeps the earliest-listed minimum on ties: the choice is a
+    // pure function of the observed depths, so identical queue states give
+    // identical routes (the adaptive determinism tests pin this).
+    int best = scratch.front();
+    int best_depth = depth(best);
+    for (std::size_t i = 1; i < scratch.size(); ++i) {
+      int d = depth(scratch[i]);
+      if (d < best_depth) {
+        best = scratch[i];
+        best_depth = d;
+      }
+    }
+    return best;
+  }
+};
+
+const RouterRegistrar kDeterministic{
+    "deterministic", [] { return std::make_unique<DeterministicRouter>(); }};
+const RouterRegistrar kAdaptive{
+    "adaptive", [] { return std::make_unique<AdaptiveRouter>(); }};
+
+}  // namespace
+
+namespace detail {
+void link_builtin_routers() {}
+}  // namespace detail
+
+}  // namespace gputn::net

@@ -1,38 +1,100 @@
 #include "net/switch.hpp"
 
-#include "net/fabric.hpp"
-
 #include <stdexcept>
+#include <utility>
+
+#include "net/fabric.hpp"
 
 namespace gputn::net {
 
-void Switch::attach_output(NodeId id, Link* out) {
-  if (id != static_cast<NodeId>(outputs_.size())) {
-    throw std::logic_error("switch outputs must be attached in node order");
+Switch::Switch(sim::Simulator& sim, int id, int radix,
+               sim::Tick forwarding_latency, int credits_per_port)
+    : sim_(&sim), id_(id), latency_(forwarding_latency),
+      credits_(credits_per_port) {
+  ports_.reserve(static_cast<std::size_t>(radix));
+  for (int p = 0; p < radix; ++p) {
+    // Ledger capacity = the credit pool when flow control is on (so busy
+    // fraction 1.0 means "all credits pinned downstream"), 1 otherwise.
+    ports_.push_back(Port{nullptr, {}, 0,
+                          obs::BusyTracker(credits_ > 0 ? credits_ : 1)});
   }
-  outputs_.push_back(out);
 }
 
-void Switch::forward(Packet&& p) {
+void Switch::attach_output(int port, Link* out) {
+  if (port < 0 || port >= radix()) {
+    throw std::logic_error("switch: output port out of range");
+  }
+  ports_[static_cast<std::size_t>(port)].out = out;
+}
+
+void Switch::arrive(Packet&& p, Switch* from_sw, int from_port) {
   NodeId dst = p.flight->msg.dst;
-  if (dst < 0 || dst >= static_cast<NodeId>(outputs_.size())) {
+  if (dst < 0) {
     throw std::out_of_range("switch: packet for unknown node");
   }
   ++forwarded_;
   if (p.flight->t_switch < 0) p.flight->t_switch = sim_->now();
   if (trace_ != nullptr && p.last && p.flight->msg.flow != 0) {
-    // One span per message covering first arrival to last forward; the
-    // flow step at the start keeps the arrow inside the slice.
+    // One span per message covering first arrival to last crossbar exit;
+    // the flow step at the start keeps the arrow inside the slice.
     sim::Tick end = sim_->now() + latency_;
-    trace_->span("net.switch", "msg", "net", p.flight->t_switch, end,
+    trace_->span(lane_, "msg", "net", p.flight->t_switch, end,
                  flow_args(p.flight->msg));
-    trace_->flow_step("net.switch", "msg", "flow", p.flight->t_switch,
+    trace_->flow_step(lane_, "msg", "flow", p.flight->t_switch,
                       p.flight->msg.flow);
   }
-  Link* out = outputs_[dst];
-  sim_->schedule_in(latency_, [out, p = std::move(p)]() mutable {
-    out->submit(std::move(p));
+  // The crossbar dequeues this packet from the input after the forwarding
+  // latency; that instant frees the upstream output-port credit it holds.
+  sim_->schedule_in(latency_, [this, from_sw, from_port,
+                               p = std::move(p)]() mutable {
+    route_out(std::move(p));
+    if (from_sw != nullptr) from_sw->credit_return(from_port);
   });
+}
+
+void Switch::route_out(Packet&& p) {
+  if (topo_ == nullptr || router_ == nullptr) {
+    throw std::logic_error("switch: no router attached");
+  }
+  int port = router_->select(*topo_, id_, p.flight->msg.dst,
+                            [this](int pt) { return depth(pt); }, scratch_);
+  if (port < 0 || port >= radix()) {
+    throw std::out_of_range("switch: routed past the radix (bad destination)");
+  }
+  Port& o = ports_[static_cast<std::size_t>(port)];
+  if (o.out == nullptr) {
+    throw std::logic_error("switch: routed to an unattached port");
+  }
+  if (o.queue.empty() && (credits_ == 0 || o.inflight < credits_)) {
+    submit_out(o, std::move(p));
+    return;
+  }
+  // Credit-stalled: park in the output FIFO until credit_return drains it.
+  ++credit_stalls_;
+  o.util.enqueue(sim_->now());
+  o.queue.push_back(std::move(p));
+}
+
+void Switch::submit_out(Port& o, Packet&& p) {
+  ++o.inflight;
+  // The credit-occupancy ledger only means something under flow control
+  // (capacity == credit pool); with unlimited credits, in-flight packets
+  // are ordinary wire pipelining, not buffer pressure, so it stays quiet.
+  if (credits_ > 0) o.util.acquire(sim_->now());
+  o.util.add_bytes(p.wire_bytes);
+  o.out->submit(std::move(p));
+}
+
+void Switch::credit_return(int port) {
+  Port& o = ports_[static_cast<std::size_t>(port)];
+  if (o.inflight > 0) --o.inflight;
+  if (credits_ > 0) o.util.release(sim_->now());
+  if (!o.queue.empty() && (credits_ == 0 || o.inflight < credits_)) {
+    Packet p = std::move(o.queue.front());
+    o.queue.pop_front();
+    o.util.dequeue(sim_->now());
+    submit_out(o, std::move(p));
+  }
 }
 
 }  // namespace gputn::net

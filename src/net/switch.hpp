@@ -1,44 +1,124 @@
-// Star-topology switch (Table 2: single switch, 100 ns per hop).
+// Multi-port switch with routed output queues and credit-based flow control.
 //
-// The switch models an ideal crossbar: each arriving packet is forwarded to
-// the destination's output link after a fixed forwarding latency. Output
-// contention is resolved by the output link's serialization FIFO.
+// Packets arriving from any input link spend the fixed forwarding latency
+// in the crossbar, are routed to an output port (Topology candidates x
+// Router choice), and then either go straight onto the output link or wait
+// in that port's FIFO for a credit. Credits model downstream buffer slots:
+// a finite-credit port may have at most `credits_per_port` packets between
+// "submitted to our link" and "dequeued by the next switch's crossbar (or
+// delivered to the host)"; the consumer returns the credit at that dequeue
+// instant. credits_per_port == 0 means unlimited (the seed's idealized
+// star behaves exactly as before).
+//
+// Output queues are unbounded, so credit exhaustion throttles upstream
+// ports but can never wedge the event queue: every queued packet drains as
+// soon as its credit comes back, and a fabric with no traffic in flight has
+// no pending switch events. Per-port obs::BusyTracker ledgers (exported by
+// the Fabric as util.sw.<id>.port<p>.*) account credit occupancy as
+// service time and credit-stalled packets as queue time — pure
+// bookkeeping, so instrumentation never perturbs simulated time.
 #pragma once
 
-#include <memory>
+#include <deque>
+#include <string>
 #include <vector>
 
 #include "net/link.hpp"
 #include "net/message.hpp"
+#include "net/routing_api.hpp"
+#include "net/topology_api.hpp"
 #include "sim/trace.hpp"
 
 namespace gputn::net {
 
 class Switch {
  public:
-  Switch(sim::Simulator& sim, sim::Tick forwarding_latency)
-      : sim_(&sim), latency_(forwarding_latency) {}
+  /// `credits_per_port` == 0 disables flow control (unlimited credits).
+  Switch(sim::Simulator& sim, int id, int radix, sim::Tick forwarding_latency,
+         int credits_per_port);
   Switch(const Switch&) = delete;
   Switch& operator=(const Switch&) = delete;
 
-  /// Register the output link toward node `id` (index == id).
-  void attach_output(NodeId id, Link* out);
+  /// Wire output `port` to a link (toward a node or the next switch).
+  /// Unused ports stay unattached; routing a packet to one is a logic
+  /// error surfaced by the topology's candidate walk, not here.
+  void attach_output(int port, Link* out);
 
-  /// Entry point for packets arriving from any input link.
-  void forward(Packet&& p);
+  /// Route lookups go through `topo`/`router`; both must outlive the
+  /// switch and be set before the first packet arrives.
+  void set_router(const Topology* topo, const Router* router) {
+    topo_ = topo;
+    router_ = router;
+  }
 
+  /// Packet arrival from an input link. When the packet holds a credit of
+  /// an upstream switch port, (`from_sw`, `from_port`) identify it and the
+  /// credit is returned once this crossbar dequeues the packet (i.e. after
+  /// the forwarding latency, when it is routed to an output queue); host
+  /// injections pass from_sw == nullptr.
+  void arrive(Packet&& p, Switch* from_sw, int from_port);
+
+  /// A downstream consumer freed one of `port`'s credits (next-switch
+  /// dequeue or host delivery); drains the port's queue if packets wait.
+  void credit_return(int port);
+
+  /// Queued + credit-holding packets at `port` — the adaptive router's
+  /// congestion signal.
+  int depth(int port) const {
+    const Port& o = ports_[static_cast<std::size_t>(port)];
+    return static_cast<int>(o.queue.size()) + o.inflight;
+  }
+
+  int id() const { return id_; }
+  int radix() const { return static_cast<int>(ports_.size()); }
+  int credits_per_port() const { return credits_; }
+  /// Credits currently available at `port` (radix() when unlimited).
+  int credits_available(int port) const {
+    const Port& o = ports_[static_cast<std::size_t>(port)];
+    return credits_ == 0 ? radix() : credits_ - o.inflight;
+  }
+  int inflight(int port) const {
+    return ports_[static_cast<std::size_t>(port)].inflight;
+  }
   std::uint64_t packets_forwarded() const { return forwarded_; }
+  /// Packets that had to wait for a credit at some output port.
+  std::uint64_t credit_stalls() const { return credit_stalls_; }
+  const obs::BusyTracker& port_util(int port) const {
+    return ports_[static_cast<std::size_t>(port)].util;
+  }
 
-  /// Attach a trace recorder: one "net.switch" span per message covering
-  /// first packet arrival to last packet forwarded, with a flow step.
-  void set_trace(sim::TraceRecorder* trace) { trace_ = trace; }
+  /// Attach a trace recorder: one span per message on `lane` covering
+  /// first packet arrival to last packet routed, with a flow step.
+  void set_trace(sim::TraceRecorder* trace, std::string lane) {
+    trace_ = trace;
+    lane_ = std::move(lane);
+  }
 
  private:
+  struct Port {
+    Link* out = nullptr;
+    std::deque<Packet> queue;  ///< credit-stalled packets (FIFO)
+    int inflight = 0;          ///< packets holding one of this port's credits
+    obs::BusyTracker util;
+  };
+
+  /// Post-crossbar: pick the output port and send or queue the packet.
+  void route_out(Packet&& p);
+  /// Take a credit and put `p` on the wire of `port`.
+  void submit_out(Port& o, Packet&& p);
+
   sim::Simulator* sim_;
+  int id_;
   sim::Tick latency_;
-  std::vector<Link*> outputs_;
+  int credits_;
+  const Topology* topo_ = nullptr;
+  const Router* router_ = nullptr;
+  std::vector<Port> ports_;
+  std::vector<int> scratch_;  ///< router candidate scratch (no hot allocs)
   std::uint64_t forwarded_ = 0;
+  std::uint64_t credit_stalls_ = 0;
   sim::TraceRecorder* trace_ = nullptr;
+  std::string lane_ = "net.switch";
 };
 
 }  // namespace gputn::net

@@ -141,6 +141,7 @@ void Nic::record_flight(const RxStamps& s, sim::Tick t_deposit) {
   leg.kind = s.kind;
   leg.bytes = s.bytes;
   leg.retransmits = s.retransmits;
+  leg.hops = s.hops;
   leg.t_trigger = s.t_trigger;
   leg.t_post = s.t_post;
   leg.t_ring = s.t_ring;

@@ -290,6 +290,7 @@ class Nic : public net::MessageSink {
     std::uint32_t kind = 0;
     std::uint64_t bytes = 0;
     std::uint32_t retransmits = 0;
+    std::uint32_t hops = 1;
     sim::Tick t_trigger = -1;
     sim::Tick t_post = -1;
     sim::Tick t_ring = -1;
@@ -305,7 +306,7 @@ class Nic : public net::MessageSink {
     static RxStamps from(const net::Message& m) {
       return RxStamps{m.flow,      m.op_tag,       m.tenant,   m.src,
                       m.dst,       m.kind,         m.payload_bytes(),
-                      m.retransmits,
+                      m.retransmits, m.hops,
                       m.t_trigger, m.t_post,       m.t_ring,   m.t_cmd,
                       m.t_pop,     m.t_admit,      m.t_wire_first,
                       m.t_wire,    m.t_switch,     m.t_rx};

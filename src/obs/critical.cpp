@@ -44,7 +44,7 @@ void blame_leg(const FlightLeg& l, const WireParams& w,
   out["retransmit"] += seg(first, l.t_wire);
   std::int64_t wire_meas = seg(l.t_wire, l.t_rx);
   if (wire_meas > 0) {
-    std::int64_t ideal = ideal_wire_ps(w, l.bytes);
+    std::int64_t ideal = ideal_wire_ps(w, l.bytes, l.hops);
     std::int64_t wire = std::min(wire_meas, ideal);
     out["wire"] += wire;
     out["switch_queue"] += wire_meas - wire;
@@ -84,6 +84,9 @@ FlightLeg parse_leg(const json::Value& v) {
   l.kind = static_cast<std::uint32_t>(num(v, "kind"));
   l.bytes = static_cast<std::uint64_t>(num(v, "bytes"));
   l.retransmits = static_cast<std::uint32_t>(num(v, "retransmits"));
+  // Dumps from single-switch builds omit the field; one hop is exact there.
+  l.hops = static_cast<std::uint32_t>(num(v, "hops", 1.0));
+  if (l.hops == 0) l.hops = 1;
   if (!v.has("stamps") || !v.at("stamps").is_object()) {
     bad("leg has no stamps object");
   }
@@ -226,7 +229,8 @@ std::string fmt(const char* f, double v) {
 
 }  // namespace
 
-std::int64_t ideal_wire_ps(const WireParams& w, std::uint64_t payload_bytes) {
+std::int64_t ideal_wire_ps(const WireParams& w, std::uint64_t payload_bytes,
+                           std::uint32_t hops) {
   auto ser = [&](std::uint64_t bytes) -> std::int64_t {
     if (bytes == 0 || w.bytes_per_sec <= 0.0) return 0;
     // Replicates sim::Bandwidth::serialize (same double math, same
@@ -234,14 +238,18 @@ std::int64_t ideal_wire_ps(const WireParams& w, std::uint64_t payload_bytes) {
     return static_cast<std::int64_t>(
         static_cast<double>(bytes) / w.bytes_per_sec * 1e12 + 0.5);
   };
+  std::int64_t h = hops > 0 ? static_cast<std::int64_t>(hops) : 1;
   std::uint64_t wire = w.header_bytes + payload_bytes;
   std::uint64_t mtu = w.mtu_bytes > 0 ? w.mtu_bytes : wire;
   if (mtu == 0) mtu = 1;
   std::uint64_t first_pkt = std::min(wire, mtu) + w.per_packet_overhead;
   std::uint64_t packets = (wire + mtu - 1) / mtu;
   std::uint64_t total_wire = wire + packets * w.per_packet_overhead;
-  return ser(total_wire) + ser(first_pkt) + 2 * w.link_latency_ps +
-         w.switch_latency_ps;
+  // Total serialization pipelines across hops; each of the h crossbars and
+  // h + 1 links re-adds the lead packet's serialization and its fixed
+  // latency (mirrors Fabric::ideal_latency's hop-aware overload).
+  return ser(total_wire) + h * ser(first_pkt) +
+         (h + 1) * w.link_latency_ps + h * w.switch_latency_ps;
 }
 
 std::map<std::string, std::int64_t> blame_op(const OpRecord& op,
@@ -462,7 +470,8 @@ bool dump_exemplar_trace(const AnalyzedRun& run, std::uint64_t selector,
     span("retransmit", first, l.t_wire, src_lane);
     if (l.t_wire >= 0 && l.t_rx > l.t_wire) {
       std::int64_t ideal =
-          std::min(ideal_wire_ps(run.wire, l.bytes), l.t_rx - l.t_wire);
+          std::min(ideal_wire_ps(run.wire, l.bytes, l.hops),
+                   l.t_rx - l.t_wire);
       tr.span("net", "wire", "blame", l.t_wire, l.t_wire + ideal,
               "{\"bytes\":" + std::to_string(l.bytes) + "}");
       if (l.t_wire + ideal < l.t_rx) {

@@ -77,11 +77,13 @@ struct PathTable {
 std::map<std::string, std::int64_t> blame_op(const OpRecord& op,
                                              const WireParams& wire);
 
-/// The ideal (uncongested) wire latency of a `payload_bytes` message under
-/// `wire` — a replica of net::Fabric::ideal_latency so the analyzer can
-/// split measured wire time without access to the simulator.
+/// The ideal (uncongested) wire latency of a `payload_bytes` message
+/// crossing `hops` switches under `wire` — a replica of
+/// net::Fabric::ideal_latency so the analyzer can split measured wire time
+/// without access to the simulator. `hops` == 1 is the star fabric.
 std::int64_t ideal_wire_ps(const WireParams& wire,
-                           std::uint64_t payload_bytes);
+                           std::uint64_t payload_bytes,
+                           std::uint32_t hops = 1);
 
 /// One run's (one dump's) analysis.
 struct AnalyzedRun {

@@ -35,7 +35,7 @@ void append_leg(std::string& out, const FlightLeg& leg) {
          ",\"kind\":" + std::to_string(leg.kind) +
          ",\"bytes\":" + std::to_string(leg.bytes) +
          ",\"retransmits\":" + std::to_string(leg.retransmits) +
-         ",\"stamps\":{";
+         ",\"hops\":" + std::to_string(leg.hops) + ",\"stamps\":{";
   bool first = true;
   append_stamp(out, "trigger", leg.t_trigger, first);
   append_stamp(out, "post", leg.t_post, first);

@@ -41,6 +41,9 @@ struct FlightLeg {
   std::uint32_t kind = 0;  ///< NIC message kind (put/get-req/get-reply/...)
   std::uint64_t bytes = 0;
   std::uint32_t retransmits = 0;
+  /// Switches the message crossed (>= 1); scales the ideal wire model so
+  /// the wire-vs-switch_queue blame split stays exact on multi-hop routes.
+  std::uint32_t hops = 1;
   std::int64_t t_trigger = -1;
   std::int64_t t_post = -1;
   std::int64_t t_ring = -1;

@@ -362,7 +362,7 @@ sim::Task<> gputn_rank(Workspace& w, int r) {
 AllreduceResult run_allreduce(const AllreduceConfig& cfg,
                               const cluster::SystemConfig& sys) {
   if (cfg.nodes < 2) throw std::invalid_argument("allreduce needs >= 2 nodes");
-  cluster::SystemConfig adjusted = sys;
+  cluster::SystemConfig adjusted = with_fabric_overrides(cfg, sys);
   std::uint64_t vec_bytes = cfg.elements * sizeof(float);
   adjusted.dram_bytes = vec_bytes + 4 * (vec_bytes / cfg.nodes) + (8u << 20);
   if (cfg.strategy == Strategy::kGpuTn) {

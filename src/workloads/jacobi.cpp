@@ -418,7 +418,7 @@ std::vector<double> reference(int n, int iterations) {
 
 JacobiResult run_jacobi(const JacobiConfig& cfg,
                         const cluster::SystemConfig& sys) {
-  cluster::SystemConfig adjusted = sys;
+  cluster::SystemConfig adjusted = with_fabric_overrides(cfg, sys);
   std::uint64_t grid_bytes =
       2ull * (cfg.n + 2) * (cfg.n + 2) * 8 + 16ull * cfg.n * 8 + (1 << 20);
   adjusted.dram_bytes = std::max(adjusted.dram_bytes, grid_bytes + (4u << 20));

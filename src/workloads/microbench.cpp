@@ -365,7 +365,8 @@ MicrobenchResult run_cpu(Rig& r) {
 
 MicrobenchResult run_microbench(const MicrobenchConfig& cfg,
                                 const cluster::SystemConfig& config) {
-  Rig r(config);
+  cluster::SystemConfig adjusted = with_fabric_overrides(cfg, config);
+  Rig r(adjusted);
   if (cfg.trace != nullptr) r.cluster.enable_tracing(*cfg.trace);
   if (cfg.timeseries != nullptr) r.cluster.attach_timeseries(*cfg.timeseries);
   if (cfg.flight != nullptr) r.cluster.attach_flight(*cfg.flight);

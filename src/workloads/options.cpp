@@ -2,7 +2,18 @@
 
 #include <cstdio>
 
+#include "cluster/config.hpp"
+
 namespace gputn::workloads {
+
+cluster::SystemConfig with_fabric_overrides(const RunOptions& opts,
+                                            const cluster::SystemConfig& sys) {
+  cluster::SystemConfig out = sys;
+  if (!opts.topology.empty()) out.fabric.topology = opts.topology;
+  if (!opts.routing.empty()) out.fabric.routing = opts.routing;
+  if (opts.credits >= 0) out.fabric.credits_per_port = opts.credits;
+  return out;
+}
 
 std::string ResultBase::stats_json() const {
   return sim::stats_json(net_stats);

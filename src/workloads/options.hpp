@@ -18,6 +18,10 @@
 #include "sim/units.hpp"
 #include "workloads/strategy.hpp"
 
+namespace gputn::cluster {
+struct SystemConfig;
+}  // namespace gputn::cluster
+
 namespace gputn::obs {
 class FlightRecorder;
 class TimeSeries;
@@ -58,7 +62,25 @@ struct RunOptions {
   /// points executed by the parallel runner, whose workers must not
   /// interleave prints; the driver reports from the merged results instead.
   bool quiet = false;
+  // -- fabric selection (net::TopologyFactory / net::RouterFactory) --------
+  /// Topology spec, e.g. "star" | "fat-tree:k=8" | "torus:4x4x4" |
+  /// "dragonfly:a=4,h=2,p=2". Empty keeps the SystemConfig's default
+  /// (Table 2's star).
+  std::string topology;
+  /// Routing policy ("deterministic" | "adaptive"); empty keeps the
+  /// config default.
+  std::string routing;
+  /// Switch output-port credits: 0 = explicitly unlimited, negative =
+  /// keep the config default.
+  int credits = -1;
 };
+
+/// Copy of `sys` with this run's fabric overrides (topology / routing /
+/// credits) applied; every workload runner folds its RunOptions through
+/// this before building its Cluster, so "topology x routing" composes from
+/// the command line with zero call-site recompiles.
+cluster::SystemConfig with_fabric_overrides(const RunOptions& opts,
+                                            const cluster::SystemConfig& sys);
 
 /// Result fields shared by every workload, plus the single report/export
 /// path. Workload results inherit this; the Registry returns it by value

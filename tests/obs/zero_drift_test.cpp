@@ -134,6 +134,35 @@ TEST(ZeroDrift, ServeIdenticalWithAndWithoutFlightRecorder) {
   EXPECT_EQ(rec_run.stats_json(), base.stats_json());
 }
 
+TEST(ZeroDrift, FatTreeAllreduceIdenticalWithFullObservability) {
+  // The multi-switch fabric adds per-port credit ledgers and trunk-link
+  // trackers; all of it must stay pure bookkeeping. Sampler + flight
+  // recorder attached to a credit-limited fat-tree run must not move a
+  // picosecond.
+  AllreduceConfig plain;
+  plain.strategy = Strategy::kGpuTn;
+  plain.nodes = 8;
+  plain.elements = 16 * 1024;
+  plain.topology = "fat-tree:k=4";
+  plain.routing = "adaptive";
+  plain.credits = 4;
+  AllreduceResult base = run_allreduce(plain);
+
+  obs::TimeSeries ts(sim::us(1));
+  obs::FlightRecorder flight(obs::FlightConfig{});
+  AllreduceConfig observed = plain;
+  observed.timeseries = &ts;
+  observed.flight = &flight;
+  AllreduceResult obs_run = run_allreduce(observed);
+
+  EXPECT_GT(ts.rows(), 5u);
+  EXPECT_GT(flight.offered(), 0u);
+  ASSERT_TRUE(base.correct);
+  ASSERT_TRUE(obs_run.correct);
+  EXPECT_EQ(obs_run.total_time, base.total_time);
+  EXPECT_EQ(obs_run.stats_json(), base.stats_json());
+}
+
 TEST(ZeroDrift, LedgerCountersAreDeterministicAcrossRuns) {
   // The always-on ledger itself: two identical runs export identical util.*
   // counters (guards against any hidden host-side state, e.g. unordered

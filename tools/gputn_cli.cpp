@@ -112,7 +112,10 @@ namespace {
   }
   std::fprintf(
       stderr,
-      "\n  fault injection (jacobi/allreduce/broadcast): --loss <rate> "
+      "\n  fabric (any workload): --topology "
+      "star|fat-tree:k=8|torus:4x4x4|dragonfly:a=4,h=2,p=2 "
+      "--routing deterministic|adaptive --credits <n per switch port>\n"
+      "  fault injection (jacobi/allreduce/broadcast): --loss <rate> "
       "--seed <s>\n"
       "  replication (any workload): --replicas <r> --jobs <n>\n"
       "  observability (any workload): --trace <file> --stats-json <file> "
@@ -177,7 +180,8 @@ bool is_driver_key(const std::string& k) {
          k == "timeseries" || k == "sample-interval" || k == "log-level" ||
          k == "loss" || k == "seed" || k == "jobs" || k == "replicas" ||
          k == "flight" || k == "flight-sample" || k == "flight-capacity" ||
-         k == "flight-exemplars";
+         k == "flight-exemplars" || k == "topology" || k == "routing" ||
+         k == "credits";
 }
 
 /// Validated value of a numeric driver flag (shared Args -> long plumbing).
@@ -406,6 +410,12 @@ int run_workload(const WorkloadEntry& entry, const Args& args) {
 
   RunOptions opts;  // nodes stays 0 (= workload default) without --nodes
   opts.nodes = static_cast<int>(driver_int(args, "nodes", 0, 2, 1 << 16));
+  // Fabric selection; empty / -1 keep the Table 2 defaults (star,
+  // deterministic routing, unlimited credits). Spec strings are validated
+  // by the topology/router factories when the fabric is finalized.
+  opts.topology = args.get("topology", "");
+  opts.routing = args.get("routing", "");
+  opts.credits = static_cast<int>(driver_int(args, "credits", -1, -1, 1 << 20));
 
   // Table 2, plus --loss/--seed fault injection when requested. Validated
   // through WorkloadParams so `--loss lots` is a usage error, not 0.0.
