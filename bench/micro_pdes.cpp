@@ -1,0 +1,144 @@
+// Intra-run parallel DES benchmark: the sharded conservative engine
+// against the sequential engine on one large run.
+//
+// The workload is a single 8-rank GPU-TN ring allreduce — one simulation,
+// not a sweep: unlike micro_sweep (replica throughput), this measures the
+// engine's ability to parallelize INSIDE a run by partitioning the cluster
+// over worker threads with conservative lookahead windows. The interesting
+// numbers are the speedup of --shards N over --shards 1 at hardware
+// concurrency and the determinism check: results, checksums, and the
+// stats export (minus the partition-shaped util.shard*/util.engine*
+// telemetry) must be byte-identical at every shard count.
+//
+// Repetitions are interleaved (1, N, 1, N, ...) so host frequency/thermal
+// phases hit both modes alike, and the reported speedup is the MEDIAN of
+// per-pair ratios — the same protocol as micro_sweep/micro_events.
+//
+// On a 1-core host the barrier rounds are pure overhead and the "speedup"
+// is an honest slowdown; the determinism check is the part that must hold
+// everywhere, which is why CI gates speedup only on >= 4 hardware threads
+// (see EXPERIMENTS.md).
+//
+// Emits BENCH_pdes.json. Usage: micro_pdes [out.json] [--shards N]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "workloads/allreduce.hpp"
+
+using namespace gputn;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Stats JSON minus the engine telemetry that is a function of the
+/// partition by construction (same strip as the golden suite).
+std::string strip_shard_keys(const std::string& json) {
+  std::istringstream in(json);
+  std::string out, line;
+  while (std::getline(in, line)) {
+    if (line.find("\"util.shard") != std::string::npos ||
+        line.find("\"util.engine") != std::string::npos) {
+      continue;
+    }
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+workloads::AllreduceConfig bench_config(int shards) {
+  workloads::AllreduceConfig cfg;
+  cfg.strategy = workloads::Strategy::kGpuTn;
+  cfg.nodes = 8;
+  cfg.elements = 1048576;
+  cfg.shards = shards;
+  return cfg;
+}
+
+/// Seconds for one run; the observable surface (total time + stripped
+/// stats) is appended to `images` for the determinism check.
+double timed_run(int shards, std::vector<std::string>& images) {
+  workloads::AllreduceConfig cfg = bench_config(shards);
+  double t0 = now_s();
+  workloads::AllreduceResult r = workloads::run_allreduce(cfg);
+  double secs = now_s() - t0;
+  if (!r.correct) {
+    std::fprintf(stderr, "micro_pdes: run failed at shards=%d\n", shards);
+    std::exit(1);
+  }
+  images.push_back(std::to_string(r.total_time) + "\n" +
+                   strip_shard_keys(r.stats_json()));
+  return secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_pdes.json";
+  if (argc > 1 && std::strncmp(argv[1], "--", 2) != 0) out_path = argv[1];
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  int shards = std::min(std::max(hw, 1), 8);  // one worker per node at most
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0) shards = std::atoi(argv[i + 1]);
+  }
+  const int reps = 3;
+
+  std::printf("micro_pdes: 8-rank GPU-TN allreduce, shards=1 vs shards=%d "
+              "(hw=%d), %d interleaved reps\n",
+              shards, hw, reps);
+
+  std::vector<std::string> images;
+  double best1 = 1e300;
+  double bestN = 1e300;
+  std::vector<double> ratios;
+  timed_run(1, images);  // throwaway: warm code, allocators, page cache
+  images.clear();
+  for (int i = 0; i < reps; ++i) {
+    double t1 = timed_run(1, images);
+    double tN = timed_run(shards, images);
+    best1 = std::min(best1, t1);
+    bestN = std::min(bestN, tN);
+    ratios.push_back(t1 / tN);
+  }
+  bool deterministic = true;
+  for (const std::string& im : images) {
+    deterministic &= (im == images.front());
+  }
+  std::sort(ratios.begin(), ratios.end());
+  double speedup = ratios[ratios.size() / 2];
+
+  std::printf("  shards=1:  %6.2f s\n", best1);
+  std::printf("  shards=%-2d: %6.2f s\n", shards, bestN);
+  std::printf("  speedup: %.2fx, output %s\n", speedup,
+              deterministic ? "bit-identical" : "NONDETERMINISTIC");
+  if (!deterministic) return 1;
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"workload\": \"allreduce-gputn-8x1048576\",\n"
+      << "  \"shards\": " << shards << ",\n"
+      << "  \"hw_concurrency\": " << hw << ",\n"
+      << "  \"shards1_s\": " << best1 << ",\n"
+      << "  \"shardsN_s\": " << bestN << ",\n"
+      << "  \"speedup\": " << speedup << ",\n"
+      << "  \"deterministic\": " << (deterministic ? "true" : "false") << "\n"
+      << "}\n";
+  if (!out.good()) {
+    std::fprintf(stderr, "micro_pdes: cannot write %s\n", out_path);
+    return 1;
+  }
+  std::printf("  wrote %s\n", out_path);
+  return 0;
+}

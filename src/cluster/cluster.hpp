@@ -15,11 +15,13 @@
 #include "net/fabric.hpp"
 #include "nic/nic.hpp"
 #include "rt/runtime.hpp"
+#include "sim/shard.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
 
 namespace gputn::obs {
 class FlightRecorder;
+class FlightSpool;
 class TimeSeries;
 }  // namespace gputn::obs
 
@@ -52,12 +54,24 @@ class Cluster {
  public:
   /// Build `node_count` identical nodes on `sim` with `config`.
   Cluster(sim::Simulator& sim, SystemConfig config, int node_count);
+  /// Parallel-DES build: nodes are partitioned over the engine's shards in
+  /// balanced contiguous blocks (node i on shard i*S/node_count) and each
+  /// node's components run on its shard's simulator; the fabric places
+  /// switches and installs cross-shard hops (net::Fabric::set_sharding).
+  /// With a 1-shard engine this is exactly the sequential build.
+  Cluster(sim::ShardEngine& engine, SystemConfig config, int node_count);
   /// Reaps all service-loop processes so component destructors run safely.
   ~Cluster();
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
   sim::Simulator& simulator() { return *sim_; }
+  /// The parallel engine driving this cluster, or nullptr when built on a
+  /// plain Simulator.
+  sim::ShardEngine* engine() { return engine_; }
+  /// The simulator owning node `i` (== simulator() without an engine).
+  sim::Simulator& node_sim(int i) { return fabric_.node_sim(i); }
+  int node_shard(int i) const { return fabric_.node_shard_of(i); }
   const SystemConfig& config() const { return config_; }
   net::Fabric& fabric() { return fabric_; }
   int size() const { return static_cast<int>(nodes_.size()); }
@@ -91,8 +105,15 @@ class Cluster {
   /// Attach a per-op flight recorder to every node's NIC and embed the
   /// fabric's wire parameters in it (the analyzer needs them to split wire
   /// serialization from switch queueing). The recorder must outlive the
-  /// run. Recording never perturbs timing or counters.
+  /// run. Recording never perturbs timing or counters. Engine-driven
+  /// clusters record into per-node spools instead — call flush_flight()
+  /// after the run so the recorder sees the canonical replay order (which
+  /// makes the dump bit-identical at every shard count).
   void attach_flight(obs::FlightRecorder& flight);
+
+  /// Replay spooled flight legs into the attached recorder (no-op without
+  /// an engine-driven attach_flight, idempotent otherwise).
+  void flush_flight();
 
   /// Register this cluster's standard time-series probes on `ts` (per-link
   /// bytes per interval, per-node NIC command queue depth, unacked
@@ -101,13 +122,18 @@ class Cluster {
   void attach_timeseries(obs::TimeSeries& ts);
 
  private:
+  void install_faults();
+
   sim::Simulator* sim_;
+  sim::ShardEngine* engine_ = nullptr;
   SystemConfig config_;
   /// Owned before fabric_ so link callbacks into injectors stay valid for
   /// the fabric's whole lifetime.
   std::unique_ptr<fault::FaultModel> fault_;
   net::Fabric fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::vector<std::unique_ptr<obs::FlightSpool>> spools_;
 };
 
 }  // namespace gputn::cluster

@@ -13,10 +13,18 @@
 // exported `net.*`/`rel.*` counter, so pooled and unpooled runs are
 // bit-identical. Hit/miss accessors exist for benchmarks but are
 // deliberately not exported into StatRegistry.
+//
+// The pool is shared by every NIC on a fabric, and under sharded (parallel
+// DES) runs NICs on different shards acquire/release concurrently — the
+// freelist is mutex-guarded. Which thread gets which recycled capacity can
+// vary, but capacity reuse is invisible to results by the argument above,
+// so determinism is unaffected; only hits()/misses() are scheduling-
+// dependent, which is why they stay out of StatRegistry.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -30,6 +38,7 @@ class BufferPool {
 
   /// A cleared buffer, reusing pooled capacity when available.
   std::vector<std::byte> acquire() {
+    std::lock_guard<std::mutex> lk(mu_);
     if (free_.empty()) {
       ++misses_;
       return {};
@@ -45,17 +54,29 @@ class BufferPool {
   /// capacity are not worth keeping; beyond kMaxFree the buffer is simply
   /// freed so an allocation burst cannot pin memory forever.
   void release(std::vector<std::byte>&& v) {
-    if (v.capacity() == 0 || free_.size() >= kMaxFree) return;
+    if (v.capacity() == 0) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (free_.size() >= kMaxFree) return;
     v.clear();
     free_.push_back(std::move(v));
   }
 
-  std::size_t pooled() const { return free_.size(); }
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
+  std::size_t pooled() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return free_.size();
+  }
+  std::uint64_t hits() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return hits_;
+  }
+  std::uint64_t misses() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return misses_;
+  }
 
  private:
   static constexpr std::size_t kMaxFree = 256;
+  mutable std::mutex mu_;
   std::vector<std::vector<std::byte>> free_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

@@ -69,7 +69,7 @@ void Nic::enqueue_internal(Command cmd, sim::Tick trigger_at,
 
 void Nic::stamp_tx(net::Message& msg, sim::Tick t_cmd, sim::Tick t_trigger,
                    bool trigger_mmio) {
-  msg.flow = fabric_->next_flow();
+  msg.flow = fabric_->next_flow(node_id_);
   msg.t_cmd = t_cmd;
   msg.t_trigger = t_trigger;
   if (trace_ == nullptr) return;

@@ -32,7 +32,7 @@
 #include "sim/sync.hpp"
 
 namespace gputn::obs {
-class FlightRecorder;
+class FlightSink;
 }  // namespace gputn::obs
 
 namespace gputn::nic {
@@ -239,7 +239,7 @@ class Nic : public net::MessageSink {
   /// Attach a per-op flight recorder (obs/flight.hpp): every delivered
   /// data message is offered to it with its full stamp set. nullptr
   /// detaches. Recording is pure bookkeeping and cannot perturb timing.
-  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
+  void set_flight(obs::FlightSink* flight) { flight_ = flight; }
 
  private:
   enum MsgKind : std::uint32_t {
@@ -365,7 +365,7 @@ class Nic : public net::MessageSink {
   sim::Channel<CqEntry> cq_;
 
   sim::TraceRecorder* trace_ = nullptr;
-  obs::FlightRecorder* flight_ = nullptr;
+  obs::FlightSink* flight_ = nullptr;
   std::string trace_lane_;
   std::string gpu_lane_;
   std::string trig_lane_;

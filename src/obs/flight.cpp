@@ -1,6 +1,7 @@
 #include "obs/flight.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
 namespace gputn::obs {
@@ -76,6 +77,26 @@ std::string escape(const std::string& s) {
 }
 
 }  // namespace
+
+void replay_spools(std::vector<FlightSpool*> spools, FlightSink& sink) {
+  std::vector<FlightSpool::Entry> all;
+  for (FlightSpool* s : spools) {
+    if (s == nullptr) continue;
+    auto& e = s->entries();
+    all.insert(all.end(), std::make_move_iterator(e.begin()),
+               std::make_move_iterator(e.end()));
+    e.clear();
+  }
+  // Per-node order (node, seq) is deterministic at every shard count; the
+  // stable global order interleaves nodes by recording time.
+  std::sort(all.begin(), all.end(),
+            [](const FlightSpool::Entry& a, const FlightSpool::Entry& b) {
+              if (a.t_record != b.t_record) return a.t_record < b.t_record;
+              if (a.node != b.node) return a.node < b.node;
+              return a.seq < b.seq;
+            });
+  for (auto& e : all) sink.record(e.leg, e.op_tag, e.tenant);
+}
 
 FlightRecorder::FlightRecorder(FlightConfig cfg) : cfg_(cfg) {
   if (cfg_.capacity == 0) cfg_.capacity = 1;

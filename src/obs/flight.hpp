@@ -103,7 +103,55 @@ struct WireParams {
   std::uint32_t per_packet_overhead = 0;
 };
 
-class FlightRecorder {
+/// Where a NIC offers delivered-message stamps. FlightRecorder implements
+/// it directly; under sharded (parallel DES) runs each node instead records
+/// into a per-node FlightSpool, replayed into the recorder after the run in
+/// a canonical order so the dump is bit-identical at every shard count.
+class FlightSink {
+ public:
+  virtual ~FlightSink() = default;
+  virtual void record(const FlightLeg& leg, std::uint64_t op_tag,
+                      std::int32_t tenant) = 0;
+};
+
+/// Per-node staging buffer for flight legs. Recording stamps the node's
+/// simulated time, so a post-run replay can re-create one global order —
+/// (t_record, node, arrival seq) — that is a pure function of each node's
+/// (deterministic) event sequence, independent of how nodes are interleaved
+/// across shards or threads. Pure bookkeeping, like the recorder itself.
+class FlightSpool : public FlightSink {
+ public:
+  explicit FlightSpool(const sim::Tick* now, int node)
+      : now_(now), node_(node) {}
+
+  struct Entry {
+    sim::Tick t_record = 0;
+    int node = -1;
+    std::uint64_t seq = 0;  ///< arrival index within this spool
+    FlightLeg leg;
+    std::uint64_t op_tag = 0;
+    std::int32_t tenant = -1;
+  };
+
+  void record(const FlightLeg& leg, std::uint64_t op_tag,
+              std::int32_t tenant) override {
+    entries_.push_back(Entry{*now_, node_, entries_.size(), leg, op_tag,
+                             tenant});
+  }
+
+  std::vector<Entry>& entries() { return entries_; }
+
+ private:
+  const sim::Tick* now_;
+  int node_;
+  std::vector<Entry> entries_;
+};
+
+/// Drain several spools into `sink` in the canonical replay order; clears
+/// the spools so a second flush is a no-op.
+void replay_spools(std::vector<FlightSpool*> spools, FlightSink& sink);
+
+class FlightRecorder : public FlightSink {
  public:
   explicit FlightRecorder(FlightConfig cfg = {});
   FlightRecorder(const FlightRecorder&) = delete;
@@ -116,7 +164,8 @@ class FlightRecorder {
   /// Offer one delivered message's stamps. op_tag == 0 records a single-leg
   /// op immediately; a nonzero tag parks the first leg until its partner
   /// arrives (unmatched legs are flushed as single-leg ops at export).
-  void record(const FlightLeg& leg, std::uint64_t op_tag, std::int32_t tenant);
+  void record(const FlightLeg& leg, std::uint64_t op_tag,
+              std::int32_t tenant) override;
 
   void set_wire(const WireParams& wire) { wire_ = wire; }
   /// Run labels written into the dump header (workload name, strategy).

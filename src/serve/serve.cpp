@@ -92,21 +92,34 @@ struct Reactor {
 
 struct Workspace {
   Workspace(const cluster::SystemConfig& sys, const ServeConfig& cfg)
-      : cluster(sim, sys, cfg.clients + cfg.servers), config(cfg),
-        slo(cfg.tenants, cfg.slo), start(sim) {
+      : engine(std::max(1, std::min(cfg.shards, cfg.clients + cfg.servers))),
+        cluster(engine, sys, cfg.clients + cfg.servers),
+        config(cfg) {
     slot_bytes = (16 + cfg.value_bytes + 63) / 64 * 64;
     nslots = cfg.tenants * cfg.window;
     generate_schedule();
     build_memory();
+    // Client-side machinery is per client node (reactor, traffic-release
+    // event, SLO reporter, error counter): under the sharded engine a
+    // client node's workers run on that node's shard, so every mutable
+    // client-side object must live with its node. The per-node SLO
+    // reporters are merged exactly (disjoint tenant sets) after the run.
     for (int c = 0; c < cfg.clients; ++c) {
-      reactors.push_back(std::make_unique<Reactor>(sim));
+      reactors.push_back(std::make_unique<Reactor>(node_sim(c)));
+      start.push_back(std::make_unique<sim::Event>(node_sim(c)));
+      slo_node.push_back(std::make_unique<SloReporter>(cfg.tenants, cfg.slo));
     }
+    errors_node.assign(static_cast<std::size_t>(cfg.clients), 0);
+    get_tag.assign(static_cast<std::size_t>(cfg.tenants), 0);
     nic::QpConfig qpc{cfg.qp_batch, cfg.qp_flush_timeout};
     for (int t = 0; t < cfg.tenants; ++t) {
       qps.push_back(std::make_unique<nic::Qp>(
-          sim, cluster.node(client_of(t)).nic(), qpc));
+          node_sim(client_of(t)), cluster.node(client_of(t)).nic(), qpc));
     }
   }
+
+  /// The simulator owning node `id` (all of them when --shards 1).
+  sim::Simulator& node_sim(int id) { return cluster.node_sim(id); }
 
   int client_of(int tenant) const { return tenant % config.clients; }
   int server_node(int s) const { return config.clients + s; }
@@ -251,30 +264,34 @@ struct Workspace {
   sim::Task<> wait_flag(int client_node, mem::Addr addr, std::uint64_t value) {
     auto& node = cluster.node(client_node);
     if (node.memory().load<std::uint64_t>(addr) >= value) co_return;
-    sim::Event ev(sim);
+    sim::Event ev(node_sim(client_node));
     auto& r = *reactors[static_cast<std::size_t>(client_node)];
     r.waiters.push_back({addr, value, &ev});
     r.cond.notify_all();
     co_await ev.wait();
   }
 
-  sim::Simulator sim;
+  sim::ShardEngine engine;
   cluster::Cluster cluster;
   ServeConfig config;
-  SloReporter slo;
-  sim::Event start;          ///< traffic release after server setup
+  /// Traffic release after server setup, one latch per client node (all
+  /// triggered at the same tick, scheduled by the setup barrier).
+  std::vector<std::unique_ptr<sim::Event>> start;
   sim::Tick traffic_start = 0;
   std::uint64_t slot_bytes = 0;
   int nslots = 0;
   std::vector<std::vector<Req>> sched;  ///< [tenant]
   std::vector<ServerState> srv;
   std::vector<ClientSlot> cli;
-  std::vector<std::unique_ptr<Reactor>> reactors;  ///< per client node
-  std::vector<std::unique_ptr<nic::Qp>> qps;       ///< per tenant
-  std::uint64_t errors = 0;
-  /// Monotonic get op tag (simulation order, hence deterministic): pairs
-  /// each get request with its reply in the flight recorder.
-  std::uint64_t next_get_tag = 0;
+  std::vector<std::unique_ptr<Reactor>> reactors;     ///< per client node
+  std::vector<std::unique_ptr<SloReporter>> slo_node; ///< per client node
+  std::vector<std::unique_ptr<nic::Qp>> qps;          ///< per tenant
+  std::vector<std::uint64_t> errors_node;             ///< per client node
+  /// Monotonic get op tag per tenant (tenant-qualified so it is
+  /// deterministic on every shard count — a tenant's requests issue in
+  /// node-local simulation order): pairs each get request with its reply
+  /// in the flight recorder.
+  std::vector<std::uint64_t> get_tag;
 };
 
 sim::Task<> reactor_loop(Workspace& w, int client_node) {
@@ -305,19 +322,21 @@ sim::Task<> reactor_loop(Workspace& w, int client_node) {
 /// counts against the SLO — the open-loop queueing property.
 sim::Task<> client_worker(Workspace& w, int t, int wk) {
   const ServeConfig& cfg = w.config;
-  auto& node = w.cluster.node(w.client_of(t));
+  const int cn = w.client_of(t);
+  auto& node = w.cluster.node(cn);
+  auto& csim = w.node_sim(cn);
   auto& cpu = node.cpu();
   auto& memory = node.memory();
   const auto& reqs = w.sched[static_cast<std::size_t>(t)];
   const int slot = w.slot_of(t, wk);
   auto& c = w.cli[static_cast<std::size_t>(slot)];
 
-  co_await w.start.wait();
+  co_await w.start[static_cast<std::size_t>(cn)]->wait();
   for (std::size_t i = static_cast<std::size_t>(wk); i < reqs.size();
        i += static_cast<std::size_t>(cfg.window)) {
     const Req& rq = reqs[i];
     sim::Tick at = w.traffic_start + rq.at;
-    if (w.sim.now() < at) co_await w.sim.delay(at - w.sim.now());
+    if (csim.now() < at) co_await csim.delay(at - csim.now());
     bool ok = false;
     if (rq.is_get) {
       // The NIC's get reply always raises the flag to 1: reset before reuse.
@@ -329,10 +348,11 @@ sim::Task<> client_worker(Workspace& w, int t, int wk) {
       g.bytes = cfg.value_bytes;
       g.remote_addr = w.value_addr(rq.server, rq.key);
       g.local_flag = c.get_flag;
-      g.op_tag = (1ull << 62) | ++w.next_get_tag;
+      g.op_tag = (1ull << 62) | (static_cast<std::uint64_t>(t) << 40) |
+                 ++w.get_tag[static_cast<std::size_t>(t)];
       g.tenant = t;
       w.qps[static_cast<std::size_t>(t)]->post(g);
-      co_await w.wait_flag(w.client_of(t), c.get_flag, 1);
+      co_await w.wait_flag(cn, c.get_flag, 1);
       ok = memory.load<std::uint64_t>(c.get_buf) == key_sig(rq.key);
     } else {
       memory.store<std::uint64_t>(c.req_stage, rq.key);
@@ -350,24 +370,26 @@ sim::Task<> client_worker(Workspace& w, int t, int wk) {
       p.tenant = t;
       w.qps[static_cast<std::size_t>(t)]->post(p);
       auto sv = static_cast<std::size_t>(rq.server);
-      co_await w.wait_flag(w.client_of(t), c.resp_flag[sv], rq.round);
+      co_await w.wait_flag(cn, c.resp_flag[sv], rq.round);
       ok = memory.load<std::uint64_t>(c.resp_buf[sv]) == key_sig(rq.key) &&
            memory.load<std::uint64_t>(c.resp_buf[sv] + 8) == rq.round;
     }
-    if (!ok) ++w.errors;
-    w.slo.record(t, w.sim.now() - at, rq.is_get, cfg.value_bytes);
+    if (!ok) ++w.errors_node[static_cast<std::size_t>(cn)];
+    w.slo_node[static_cast<std::size_t>(cn)]->record(t, csim.now() - at,
+                                                     rq.is_get,
+                                                     cfg.value_bytes);
   }
 }
 
 /// CPU-driven server: one host proxy polls the request slots and posts
 /// every response itself. ~(compute + post) of serial core time per put
 /// bounds throughput — the critical-path CPU cost GPU-TN removes.
-sim::Task<> cpu_server(Workspace& w, int s, sim::Event& setup_done) {
+sim::Task<> cpu_server(Workspace& w, int s, sim::Tick& ready_at) {
   auto& node = w.cluster.node(w.server_node(s));
   auto& cpu = node.cpu();
   auto& memory = node.memory();
   auto& st = w.srv[static_cast<std::size_t>(s)];
-  setup_done.trigger();
+  ready_at = w.node_sim(w.server_node(s)).now();
   std::uint64_t remaining = 0;
   for (int slot : st.active) {
     remaining += st.expected[static_cast<std::size_t>(slot)];
@@ -398,11 +420,11 @@ sim::Task<> cpu_server(Workspace& w, int s, sim::Event& setup_done) {
 /// that races a late registration. Posting cost is amortized per 64-entry
 /// descriptor-ring refill. Traffic is released only after setup, so the
 /// serving phase itself never touches the host CPU.
-sim::Task<> gputn_server(Workspace& w, int s, sim::Event& setup_done) {
+sim::Task<> gputn_server(Workspace& w, int s, sim::Tick& ready_at) {
   auto& node = w.cluster.node(w.server_node(s));
   auto& st = w.srv[static_cast<std::size_t>(s)];
   if (st.active.empty()) {
-    setup_done.trigger();
+    ready_at = w.node_sim(w.server_node(s)).now();
     co_return;
   }
 
@@ -461,7 +483,7 @@ sim::Task<> gputn_server(Workspace& w, int s, sim::Event& setup_done) {
                                     w.response_put(s, slot, round));
     }
   }
-  setup_done.trigger();
+  ready_at = w.node_sim(w.server_node(s)).now();
   co_await rec->done.wait();
 }
 
@@ -514,49 +536,88 @@ ServeResult run_serve(const ServeConfig& cfg,
   if (cfg.flight != nullptr) w.cluster.attach_flight(*cfg.flight);
 
   for (int c = 0; c < cfg.clients; ++c) {
-    w.sim.spawn(reactor_loop(w, c), "serve-reactor");
+    w.node_sim(c).spawn(reactor_loop(w, c), "serve-reactor");
   }
-  std::vector<std::unique_ptr<sim::Event>> setup_done;
-  std::vector<sim::ProcessHandle> procs;
+  std::vector<std::vector<sim::ProcessHandle>> by_shard(
+      static_cast<std::size_t>(w.engine.shards()));
+  std::vector<sim::Tick> ready(static_cast<std::size_t>(cfg.servers), -1);
   for (int s = 0; s < cfg.servers; ++s) {
-    setup_done.push_back(std::make_unique<sim::Event>(w.sim));
-    procs.push_back(w.sim.spawn(
-        cfg.strategy == workloads::Strategy::kGpuTn
-            ? gputn_server(w, s, *setup_done.back())
-            : cpu_server(w, s, *setup_done.back()),
-        "serve-server"));
+    int node = w.server_node(s);
+    by_shard[static_cast<std::size_t>(w.cluster.node_shard(node))].push_back(
+        w.node_sim(node).spawn(
+            cfg.strategy == workloads::Strategy::kGpuTn
+                ? gputn_server(w, s, ready[static_cast<std::size_t>(s)])
+                : cpu_server(w, s, ready[static_cast<std::size_t>(s)]),
+            "serve-server"));
   }
-  w.sim.spawn(
-      [](Workspace& ws, std::vector<sim::Event*> setups) -> sim::Task<> {
-        for (auto* ev : setups) co_await ev->wait();
-        ws.traffic_start = ws.sim.now();
-        ws.start.trigger();
-      }(w,
-        [&] {
-          std::vector<sim::Event*> ptrs;
-          for (auto& e : setup_done) ptrs.push_back(e.get());
-          return ptrs;
-        }()),
-      "serve-release");
   for (int t = 0; t < cfg.tenants; ++t) {
+    int node = w.client_of(t);
     for (int wk = 0; wk < cfg.window; ++wk) {
-      procs.push_back(w.sim.spawn(client_worker(w, t, wk), "serve-client"));
+      by_shard[static_cast<std::size_t>(w.cluster.node_shard(node))]
+          .push_back(w.node_sim(node).spawn(client_worker(w, t, wk),
+                                            "serve-client"));
     }
   }
-
-  sim::Tick finished_at = -1;
-  w.sim.spawn(
-      [](sim::Simulator& s, std::vector<sim::ProcessHandle> hs,
-         sim::Tick& out) -> sim::Task<> {
-        co_await sim::join_all(std::move(hs));
-        out = s.now();
-      }(w.sim, procs, finished_at),
-      "monitor");
-  w.sim.run_until(sim::sec(10));
-  if (finished_at < 0) {
-    throw std::runtime_error("serve: deadlocked (offered load unserviceable "
-                             "within the 10 s simulation budget)");
+  // Per-shard completion monitors (see allreduce.cpp for rationale);
+  // reactors are excluded — they idle forever and are reaped at teardown.
+  std::vector<sim::Tick> shard_done(by_shard.size(), -1);
+  for (std::size_t s = 0; s < by_shard.size(); ++s) {
+    if (by_shard[s].empty()) {
+      shard_done[s] = 0;
+      continue;
+    }
+    w.engine.shard(static_cast<int>(s)).spawn(
+        [](sim::Simulator& sh, std::vector<sim::ProcessHandle> hs,
+           sim::Tick& out) -> sim::Task<> {
+          co_await sim::join_all(std::move(hs));
+          out = sh.now();
+        }(w.engine.shard(static_cast<int>(s)), std::move(by_shard[s]),
+          shard_done[s]),
+        "monitor");
   }
+
+  // Phase A — server setup, driven in single-tick windows so no shard
+  // clock overruns the traffic-release tick (a shard hosting both a server
+  // and clients would otherwise race past it on kernel-poll events).
+  // Server readiness ticks are node-local and deterministic, so the
+  // release tick max(ready) is identical at every shard count — and equal
+  // to the tick the sequential release coroutine fired at.
+  auto all_ready = [&] {
+    for (sim::Tick t : ready) {
+      if (t < 0) return false;
+    }
+    return true;
+  };
+  while (!all_ready()) {
+    sim::Tick g = w.engine.next_time();
+    if (g >= sim::sec(10)) {
+      throw std::runtime_error("serve: server setup never completed");
+    }
+    w.engine.step(g);
+  }
+  sim::Tick t_rel = 0;
+  for (sim::Tick t : ready) t_rel = std::max(t_rel, t);
+  w.traffic_start = t_rel;
+  // Phase B — release traffic: trigger every client node's start latch at
+  // the same tick. Phase A's single-tick windows guarantee every shard
+  // clock is <= t_rel, so the release is never in any shard's past; the
+  // first client send reaches any advanced server shard at least one wire
+  // latency (= the engine lookahead) later.
+  for (int c = 0; c < cfg.clients; ++c) {
+    sim::Event* ev = w.start[static_cast<std::size_t>(c)].get();
+    w.node_sim(c).schedule_at(t_rel, [ev] { ev->trigger(); });
+  }
+  w.engine.run_until(sim::sec(10));
+  sim::Tick finished_at = -1;
+  for (sim::Tick t : shard_done) {
+    if (t < 0) {
+      throw std::runtime_error("serve: deadlocked (offered load "
+                               "unserviceable within the 10 s simulation "
+                               "budget)");
+    }
+    finished_at = std::max(finished_at, t);
+  }
+  w.cluster.flush_flight();
 
   ServeResult res;
   res.strategy = cfg.strategy;
@@ -573,9 +634,15 @@ ServeResult run_serve(const ServeConfig& cfg,
   res.total_time = finished_at;
   res.setup_time = w.traffic_start;
   res.serve_window = finished_at - w.traffic_start;
-  res.requests_total = w.slo.total_ops();
+  // Merge the per-client-node reporters (disjoint tenant sets, exact
+  // bucket-wise merge) into one run-level view.
+  SloReporter slo(cfg.tenants, cfg.slo);
+  for (auto& r : w.slo_node) slo.absorb(*r);
+  std::uint64_t errors = 0;
+  for (std::uint64_t e : w.errors_node) errors += e;
+  res.requests_total = slo.total_ops();
   w.cluster.export_net_stats(res.net_stats, res.total_time);
-  w.slo.export_into(res.net_stats);
+  slo.export_into(res.net_stats);
   res.net_stats.counter("serve.setup_ps") =
       static_cast<std::uint64_t>(res.setup_time);
   res.net_stats.counter("serve.window_ps") =
@@ -587,14 +654,14 @@ ServeResult run_serve(const ServeConfig& cfg,
     res.net_stats.counter("serve.qp.flush.timeout") += qp->timeout_flushes();
     res.net_stats.histogram("serve.qp.occupancy").merge(qp->occupancy());
   }
-  res.tenants = w.slo.summaries();
+  res.tenants = slo.summaries();
   std::uint64_t expected_total =
       static_cast<std::uint64_t>(cfg.tenants) *
       static_cast<std::uint64_t>(cfg.requests);
-  res.correct = w.errors == 0 && w.slo.total_ops() == expected_total;
+  res.correct = errors == 0 && slo.total_ops() == expected_total;
   if (!cfg.quiet) {
     res.report();
-    std::fputs(w.slo.table(res.serve_window).c_str(), stdout);
+    std::fputs(slo.table(res.serve_window).c_str(), stdout);
   }
   return res;
 }

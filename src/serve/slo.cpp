@@ -35,6 +35,25 @@ void SloReporter::record(int tenant, sim::Tick latency, bool is_get,
   }
 }
 
+void SloReporter::absorb(const SloReporter& other) {
+  if (other.tenants() != tenants() || other.slo_ != slo_) {
+    throw std::invalid_argument("slo: absorb() reporters must match");
+  }
+  for (std::size_t i = 0; i < per_tenant_.size(); ++i) {
+    auto& t = per_tenant_[i];
+    const auto& o = other.per_tenant_[i];
+    t.lat_ns.merge(o.lat_ns);
+    t.gets += o.gets;
+    t.puts += o.puts;
+    t.slo_ok += o.slo_ok;
+    t.bytes += o.bytes;
+  }
+  get_ns_.merge(other.get_ns_);
+  put_ns_.merge(other.put_ns_);
+  total_ops_ += other.total_ops_;
+  total_slo_ok_ += other.total_slo_ok_;
+}
+
 TenantSummary SloReporter::summary(int tenant) const {
   const auto& t = per_tenant_.at(static_cast<std::size_t>(tenant));
   TenantSummary s;

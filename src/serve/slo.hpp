@@ -56,6 +56,12 @@ class SloReporter {
   TenantSummary summary(int tenant) const;
   std::vector<TenantSummary> summaries() const;
 
+  /// Fold another reporter's samples into this one. Exact: histograms merge
+  /// bucket-wise and counters sum, so absorbing per-client-node reporters
+  /// (disjoint tenant sets under the sharded engine) reproduces a single
+  /// reporter fed every sample. Requires identical tenant count and SLO.
+  void absorb(const SloReporter& other);
+
   /// Fold per-tenant histograms and counters into `out`:
   ///   histograms  lat.serve.t<i>, lat.serve.get, lat.serve.put   (ns)
   ///   counters    serve.t<i>.ops / .slo_ok / .bytes, serve.slo_ok

@@ -86,6 +86,51 @@ void Simulator::schedule_overflow(Tick when, EventFn fn) {
   if (blk < overflow_min_blk_) overflow_min_blk_ = blk;
 }
 
+void Simulator::defer_event(Tick when, EventFn fn) {
+  assert(deferred_ != nullptr && emit_seq_ != nullptr &&
+         "deferral horizon armed without a sink");
+  deferred_->push_back(Deferred{when, now_, (*emit_seq_)++, std::move(fn)});
+}
+
+void Simulator::schedule_event(Tick when, EventFn fn) {
+  assert(when >= now_ && "cannot schedule events in the past");
+  next_seq_++;
+  pending_++;
+  if (when <= now_) {
+    fifo_.push_back(std::move(fn));
+    return;
+  }
+  std::uint64_t blk = block_of(when);
+  if (blk < cur_blk_ + kBuckets) {
+    insert_into_wheel(Item{when, next_seq_ - 1, std::move(fn)});
+  } else {
+    schedule_overflow(when, std::move(fn));
+  }
+}
+
+Tick Simulator::next_pending_time() const {
+  if (fifo_head_ < fifo_.size()) return now_;
+  Tick best = kTickMax;
+  if (!overflow_.empty()) best = overflow_.front().when;
+  if (!drain_.empty()) {
+    // Drain items all live in the cursor's block, and later wheel buckets
+    // hold strictly later blocks — but the cursor bucket itself may have
+    // gained items after the swap, so scan it alongside drain_'s tail.
+    Tick m = drain_.back().when;
+    for (const Item& it : wheel_[cur_blk_ & kBucketMask]) {
+      m = std::min(m, it.when);
+    }
+    return std::min(best, m);
+  }
+  std::size_t off = next_occupied_offset();
+  if (off != kBuckets) {
+    for (const Item& it : wheel_[(cur_blk_ + off) & kBucketMask]) {
+      best = std::min(best, it.when);
+    }
+  }
+  return best;
+}
+
 void Simulator::insert_into_wheel(Item&& item) {
   std::uint64_t blk = block_of(item.when);
   std::size_t idx = blk & kBucketMask;

@@ -73,6 +73,14 @@ class Simulator {
     requires std::is_invocable_r_v<void, std::remove_cvref_t<F>&>
   void schedule_at(Tick when, F&& fn) {
     assert(when >= now_ && "cannot schedule events in the past");
+    if (when >= horizon_) [[unlikely]] {
+      // Parallel-DES window in progress (sim/shard.hpp): events at or past
+      // the conservative horizon are diverted to the deferred buffer and
+      // re-inserted at the next barrier in deterministic merge order
+      // alongside cross-shard arrivals.
+      defer_event(when, EventFn(std::forward<F>(fn)));
+      return;
+    }
     next_seq_++;
     pending_++;
     if (when <= now_) {
@@ -117,6 +125,47 @@ class Simulator {
   std::uint64_t run();
   /// Run all events with time <= `until`, then advance now() to `until`.
   std::uint64_t run_until(Tick until);
+
+  // --- Conservative-PDES hooks (driven by sim::ShardEngine) -------------
+
+  /// An event diverted by the deferral horizon. `t_sched` is the clock at
+  /// scheduling time and `seq` the shard's emit counter; together with the
+  /// source shard id they form the deterministic cross-shard merge key.
+  struct Deferred {
+    Tick when;
+    Tick t_sched;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+
+  /// Arm the deferral machinery: schedules at `when >= horizon` land in
+  /// `*buf` (stamped from `*emit_seq`, shared with the engine's remote
+  /// mailbox path so local and cross-shard emissions at one tick keep
+  /// their relative order). Pass kTickMax to disarm. The buffers outlive
+  /// the window; only the engine's barrier drains them.
+  void set_defer_sink(std::vector<Deferred>* buf, std::uint64_t* emit_seq) {
+    deferred_ = buf;
+    emit_seq_ = emit_seq;
+  }
+  void set_horizon(Tick horizon) { horizon_ = horizon; }
+  Tick horizon() const { return horizon_; }
+
+  /// Insert an event at absolute `when` with a fresh sequence number,
+  /// bypassing the deferral horizon — the engine's barrier merge uses this
+  /// to re-insert deferred and cross-shard events in canonical order.
+  void schedule_event(Tick when, EventFn fn);
+
+  /// Bounded run for one conservative window: executes events with
+  /// when <= `limit` but — unlike run_until — neither parks now() at the
+  /// limit nor commits the wheel cursor past it, so the clock stays at the
+  /// last executed event and later windows behave exactly like one
+  /// uninterrupted run.
+  std::uint64_t run_window(Tick limit) { return run_loop<true>(limit); }
+
+  /// Earliest pending timestamp (FIFO / drain / wheel / overflow), or
+  /// kTickMax when the calendar is empty. Deferred events are excluded:
+  /// the engine merges them back before asking.
+  Tick next_pending_time() const;
 
   /// Awaitable that suspends the current coroutine for `d` picoseconds.
   auto delay(Tick d) {
@@ -199,6 +248,8 @@ class Simulator {
   __attribute__((always_inline)) bool advance_to_next_batch(Tick limit);
   /// Out-of-line slow path of schedule_at: push onto the far-future heap.
   void schedule_overflow(Tick when, EventFn fn);
+  /// Out-of-line slow path of schedule_at under an armed deferral horizon.
+  void defer_event(Tick when, EventFn fn);
   /// Moves bucket `blk`'s events into drain_ (an O(1) vector swap when
   /// drain_ is empty), sorts them if inserts dirtied the bucket, and sets
   /// now() to the earliest pending timestamp — leaving that batch on
@@ -224,6 +275,12 @@ class Simulator {
   void finish_process(std::shared_ptr<ProcessHandle::State> state);
 
   Tick now_ = 0;
+  // Deferral horizon for conservative-PDES windows; kTickMax (the reset
+  // value) keeps the hot schedule_at branch always-false in sequential
+  // runs. Armed only while the ShardEngine executes a window.
+  Tick horizon_ = kTickMax;
+  std::vector<Deferred>* deferred_ = nullptr;
+  std::uint64_t* emit_seq_ = nullptr;
   std::uint64_t cur_blk_ = 0;  // invariant: block_of(now_) <= cur_blk_
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_events_ = 0;

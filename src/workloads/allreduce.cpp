@@ -1,5 +1,6 @@
 #include "workloads/allreduce.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
@@ -31,7 +32,10 @@ struct NodeState {
 
 struct Workspace {
   Workspace(const cluster::SystemConfig& sys, const AllreduceConfig& cfg)
-      : cluster(sim, sys, cfg.nodes), config(cfg), states(cfg.nodes) {
+      : engine(std::max(1, std::min(cfg.shards, cfg.nodes))),
+        cluster(engine, sys, cfg.nodes),
+        config(cfg),
+        states(cfg.nodes) {
     for (int r = 0; r < cfg.nodes; ++r) {
       auto& node = cluster.node(r);
       auto& st = states[r];
@@ -62,7 +66,10 @@ struct Workspace {
     return states[rank].plan.chunk_elems(chunk) * sizeof(float);
   }
 
-  sim::Simulator sim;
+  /// The simulator owning rank `r` (all of them when --shards 1).
+  sim::Simulator& node_sim(int r) { return cluster.node_sim(r); }
+
+  sim::ShardEngine engine;
   cluster::Cluster cluster;
   AllreduceConfig config;
   std::vector<NodeState> states;
@@ -96,11 +103,11 @@ sim::Task<> cpu_rank(Workspace& w, int r, bool staging) {
     mem::Addr land = reduce ? st.rx[p] : w.chunk_addr(r, rcv.chunk);
 
     std::vector<sim::ProcessHandle> ops;
-    ops.push_back(w.sim.spawn(
+    ops.push_back(w.node_sim(r).spawn(
         node.rt().send(snd.peer, round, w.chunk_addr(r, snd.chunk),
                        w.chunk_bytes(r, snd.chunk), staging),
         "send"));
-    ops.push_back(w.sim.spawn(
+    ops.push_back(w.node_sim(r).spawn(
         node.rt().recv(rcv.peer, round, land, w.chunk_bytes(r, rcv.chunk),
                        staging),
         "recv"));
@@ -131,11 +138,11 @@ sim::Task<> hdn_rank(Workspace& w, int r) {
     mem::Addr land = reduce ? st.rx[p] : w.chunk_addr(r, rcv.chunk);
 
     std::vector<sim::ProcessHandle> ops;
-    ops.push_back(w.sim.spawn(
+    ops.push_back(w.node_sim(r).spawn(
         node.rt().send(snd.peer, round, w.chunk_addr(r, snd.chunk),
                        w.chunk_bytes(r, snd.chunk)),
         "send"));
-    ops.push_back(w.sim.spawn(
+    ops.push_back(w.node_sim(r).spawn(
         node.rt().recv(rcv.peer, round, land, w.chunk_bytes(r, rcv.chunk)),
         "recv"));
     co_await sim::join_all(std::move(ops));
@@ -170,7 +177,7 @@ sim::Task<> gds_rank(Workspace& w, int r) {
   auto& node = w.cluster.node(r);
   auto& st = w.states[r];
   std::shared_ptr<gpu::KernelRecord> last;
-  sim::Event all_posted(w.sim);
+  sim::Event all_posted(w.node_sim(r));
 
   for (std::size_t round = 0; round < st.schedule.rounds.size(); ++round) {
     const auto& rd = st.schedule.rounds[round];
@@ -375,43 +382,61 @@ AllreduceResult run_allreduce(const AllreduceConfig& cfg,
   if (cfg.trace != nullptr) w.cluster.enable_tracing(*cfg.trace);
   if (cfg.timeseries != nullptr) w.cluster.attach_timeseries(*cfg.timeseries);
   if (cfg.flight != nullptr) w.cluster.attach_flight(*cfg.flight);
-  std::vector<sim::ProcessHandle> ranks;
+  std::vector<std::vector<sim::ProcessHandle>> by_shard(
+      static_cast<std::size_t>(w.engine.shards()));
   for (int r = 0; r < cfg.nodes; ++r) {
+    sim::ProcessHandle h;
     switch (cfg.strategy) {
       case Strategy::kCpu:
-        ranks.push_back(w.sim.spawn(cpu_rank(w, r, /*staging=*/true), "cpu_rank"));
+        h = w.node_sim(r).spawn(cpu_rank(w, r, /*staging=*/true), "cpu_rank");
         break;
       case Strategy::kHdn:
-        ranks.push_back(w.sim.spawn(hdn_rank(w, r), "hdn_rank"));
+        h = w.node_sim(r).spawn(hdn_rank(w, r), "hdn_rank");
         break;
       case Strategy::kGds:
-        ranks.push_back(w.sim.spawn(gds_rank(w, r), "gds_rank"));
+        h = w.node_sim(r).spawn(gds_rank(w, r), "gds_rank");
         break;
       case Strategy::kGpuTn:
-        ranks.push_back(w.sim.spawn(gputn_rank(w, r), "gputn_rank"));
+        h = w.node_sim(r).spawn(gputn_rank(w, r), "gputn_rank");
         break;
       case Strategy::kGhn:
       case Strategy::kGnn:
         throw std::invalid_argument(
             "allreduce: GHN/GNN are microbenchmark-only strategies");
     }
+    by_shard[static_cast<std::size_t>(w.cluster.node_shard(r))].push_back(h);
   }
-  // Completion monitor + watchdog: a protocol bug that livelocks (e.g. a
+  // Completion monitors + watchdog: a protocol bug that livelocks (e.g. a
   // poll loop whose flag never arrives) would otherwise spin the event
   // queue forever; and run_until pads the clock, so the collective's end
-  // time is captured when the last rank finishes.
-  sim::Tick finished_at = -1;
-  w.sim.spawn(
-      [](sim::Simulator& s, std::vector<sim::ProcessHandle> hs,
-         sim::Tick& out) -> sim::Task<> {
-        co_await sim::join_all(std::move(hs));
-        out = s.now();
-      }(w.sim, ranks, finished_at),
-      "monitor");
-  w.sim.run_until(sim::sec(10));
-  if (finished_at < 0) {
-    throw std::runtime_error("allreduce: deadlocked (rank never finished)");
+  // time is captured when the last rank finishes. One monitor per shard
+  // (each joins only shard-local ranks); the run's finish is their max,
+  // which equals the sequential single-join tick — the globally last
+  // rank's finish.
+  std::vector<sim::Tick> shard_done(by_shard.size(), -1);
+  for (std::size_t s = 0; s < by_shard.size(); ++s) {
+    if (by_shard[s].empty()) {
+      shard_done[s] = 0;
+      continue;
+    }
+    w.engine.shard(static_cast<int>(s)).spawn(
+        [](sim::Simulator& sh, std::vector<sim::ProcessHandle> hs,
+           sim::Tick& out) -> sim::Task<> {
+          co_await sim::join_all(std::move(hs));
+          out = sh.now();
+        }(w.engine.shard(static_cast<int>(s)), std::move(by_shard[s]),
+          shard_done[s]),
+        "monitor");
   }
+  w.engine.run_until(sim::sec(10));
+  sim::Tick finished_at = -1;
+  for (sim::Tick t : shard_done) {
+    if (t < 0) {
+      throw std::runtime_error("allreduce: deadlocked (rank never finished)");
+    }
+    finished_at = std::max(finished_at, t);
+  }
+  w.cluster.flush_flight();
 
   AllreduceResult res;
   res.strategy = cfg.strategy;

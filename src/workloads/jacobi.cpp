@@ -175,13 +175,17 @@ std::uint64_t pack_bytes(int n) {
 
 struct Workspace {
   explicit Workspace(const cluster::SystemConfig& sys, const JacobiConfig& cfg)
-      : cluster(sim, sys, kNodes), config(cfg) {
+      : engine(std::max(1, std::min(cfg.shards, kNodes))),
+        cluster(engine, sys, kNodes),
+        config(cfg) {
     for (int i = 0; i < kNodes; ++i) {
       data[i].alloc(cluster.node(i).memory(), cfg.n, i);
       data[i].init_values();
     }
   }
-  sim::Simulator sim;
+  /// The simulator owning node `id` (all four when --shards 1).
+  sim::Simulator& node_sim(int id) { return cluster.node_sim(id); }
+  sim::ShardEngine engine;
   cluster::Cluster cluster;
   JacobiConfig config;
   NodeData data[kNodes];
@@ -206,11 +210,11 @@ sim::Task<> cpu_node(Workspace& w, int id) {
     // Non-blocking sends/recvs (staging copies: pure-CPU eager protocol).
     std::vector<sim::ProcessHandle> ops;
     for (int s = 0; s < 4; ++s) {
-      ops.push_back(w.sim.spawn(
+      ops.push_back(w.node_sim(id).spawn(
           node.rt().send(neighbor(id, s), halo_tag(k, opposite(s)),
                          d.tx[p][s], d.row_bytes(), /*host_staging=*/true),
           "send"));
-      ops.push_back(w.sim.spawn(
+      ops.push_back(w.node_sim(id).spawn(
           node.rt().recv(neighbor(id, s), halo_tag(k, s), d.rx[p][s],
                          d.row_bytes(), /*host_staging=*/true),
           "recv"));
@@ -258,11 +262,11 @@ sim::Task<> hdn_node(Workspace& w, int id) {
     // send/recv (GPUDirect: zero copy).
     std::vector<sim::ProcessHandle> ops;
     for (int s = 0; s < 4; ++s) {
-      ops.push_back(w.sim.spawn(
+      ops.push_back(w.node_sim(id).spawn(
           node.rt().send(neighbor(id, s), halo_tag(k, opposite(s)),
                          d.tx[p][s], d.row_bytes()),
           "send"));
-      ops.push_back(w.sim.spawn(
+      ops.push_back(w.node_sim(id).spawn(
           node.rt().recv(neighbor(id, s), halo_tag(k, s), d.rx[p][s],
                          d.row_bytes()),
           "recv"));
@@ -427,40 +431,58 @@ JacobiResult run_jacobi(const JacobiConfig& cfg,
   if (cfg.trace != nullptr) w.cluster.enable_tracing(*cfg.trace);
   if (cfg.timeseries != nullptr) w.cluster.attach_timeseries(*cfg.timeseries);
   if (cfg.flight != nullptr) w.cluster.attach_flight(*cfg.flight);
-  std::vector<sim::ProcessHandle> nodes;
+  std::vector<std::vector<sim::ProcessHandle>> by_shard(
+      static_cast<std::size_t>(w.engine.shards()));
   for (int i = 0; i < kNodes; ++i) {
+    sim::ProcessHandle h;
     switch (cfg.strategy) {
       case Strategy::kCpu:
-        nodes.push_back(w.sim.spawn(cpu_node(w, i), "cpu_node"));
+        h = w.node_sim(i).spawn(cpu_node(w, i), "cpu_node");
         break;
       case Strategy::kHdn:
-        nodes.push_back(w.sim.spawn(hdn_node(w, i), "hdn_node"));
+        h = w.node_sim(i).spawn(hdn_node(w, i), "hdn_node");
         break;
       case Strategy::kGds:
-        nodes.push_back(w.sim.spawn(gds_node(w, i), "gds_node"));
+        h = w.node_sim(i).spawn(gds_node(w, i), "gds_node");
         break;
       case Strategy::kGpuTn:
-        nodes.push_back(w.sim.spawn(gputn_node(w, i), "gputn_node"));
+        h = w.node_sim(i).spawn(gputn_node(w, i), "gputn_node");
         break;
       case Strategy::kGhn:
       case Strategy::kGnn:
         throw std::invalid_argument(
             "jacobi: GHN/GNN are microbenchmark-only strategies");
     }
+    by_shard[static_cast<std::size_t>(w.cluster.node_shard(i))].push_back(h);
   }
-  // Completion monitor + watchdog (see allreduce.cpp for rationale).
+  // Per-shard completion monitors + watchdog (see allreduce.cpp for
+  // rationale). Each records the tick its last local node finishes; the
+  // run's finish time is their max, which equals the sequential monitor's
+  // single join tick (the globally last node's finish).
+  std::vector<sim::Tick> shard_done(by_shard.size(), -1);
+  for (std::size_t s = 0; s < by_shard.size(); ++s) {
+    if (by_shard[s].empty()) {
+      shard_done[s] = 0;
+      continue;
+    }
+    w.engine.shard(static_cast<int>(s)).spawn(
+        [](sim::Simulator& sh, std::vector<sim::ProcessHandle> hs,
+           sim::Tick& out) -> sim::Task<> {
+          co_await sim::join_all(std::move(hs));
+          out = sh.now();
+        }(w.engine.shard(static_cast<int>(s)), std::move(by_shard[s]),
+          shard_done[s]),
+        "monitor");
+  }
+  w.engine.run_until(sim::sec(10));
   sim::Tick finished_at = -1;
-  w.sim.spawn(
-      [](sim::Simulator& s, std::vector<sim::ProcessHandle> hs,
-         sim::Tick& out) -> sim::Task<> {
-        co_await sim::join_all(std::move(hs));
-        out = s.now();
-      }(w.sim, nodes, finished_at),
-      "monitor");
-  w.sim.run_until(sim::sec(10));
-  if (finished_at < 0) {
-    throw std::runtime_error("jacobi: deadlocked (node never finished)");
+  for (sim::Tick t : shard_done) {
+    if (t < 0) {
+      throw std::runtime_error("jacobi: deadlocked (node never finished)");
+    }
+    finished_at = std::max(finished_at, t);
   }
+  w.cluster.flush_flight();
 
   JacobiResult res;
   res.strategy = cfg.strategy;

@@ -62,6 +62,15 @@ struct RunOptions {
   /// points executed by the parallel runner, whose workers must not
   /// interleave prints; the driver reports from the merged results instead.
   bool quiet = false;
+  /// Intra-run parallel DES: partition the cluster over this many worker
+  /// threads (sim::ShardEngine), conservative-lookahead synchronized.
+  /// Results, checksums, stats exports and flight dumps are bit-identical
+  /// to --shards 1 at every value (the golden suite pins this). Runners
+  /// clamp to the node count. Composes with --flight and fault injection;
+  /// rejected (std::invalid_argument in make_config) with --trace or
+  /// --timeseries, whose recorders are unsynchronized by design — same
+  /// policy as --replicas.
+  int shards = 1;
   // -- fabric selection (net::TopologyFactory / net::RouterFactory) --------
   /// Topology spec, e.g. "star" | "fat-tree:k=8" | "torus:4x4x4" |
   /// "dragonfly:a=4,h=2,p=2". Empty keeps the SystemConfig's default

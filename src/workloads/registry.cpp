@@ -114,6 +114,27 @@ Cfg make_config(const RunOptions& opts, const WorkloadParams& p) {
   cfg.topology = opts.topology;
   cfg.routing = opts.routing;
   cfg.credits = opts.credits;
+  cfg.shards = opts.shards;
+  if (cfg.shards < 1) {
+    throw std::invalid_argument("--shards must be >= 1");
+  }
+  // Shard rejection policy, centralized so every workload behaves the
+  // same: the trace and time-series recorders are unsynchronized pure
+  // observers, and under parallel DES workers on different shards would
+  // interleave writes into them. Reject loudly — the same stance the CLI
+  // already takes for --trace with --replicas — instead of silently
+  // serializing or racing. --flight composes (per-node spools); faults
+  // compose (per-link deterministic RNGs).
+  if (cfg.shards > 1 && cfg.trace != nullptr) {
+    throw std::invalid_argument(
+        "--shards > 1 cannot be combined with --trace (the trace recorder "
+        "is unsynchronized; run the traced run with --shards 1)");
+  }
+  if (cfg.shards > 1 && cfg.timeseries != nullptr) {
+    throw std::invalid_argument(
+        "--shards > 1 cannot be combined with --timeseries (the sampler "
+        "is unsynchronized; run the sampled run with --shards 1)");
+  }
   return cfg;
 }
 

@@ -1,0 +1,216 @@
+// Targeted tests for the conservative parallel engine (sim/shard.hpp).
+//
+// The workload-level golden suite pins end-to-end bit-identity; these tests
+// pin the engine contract in isolation, where failures localize: the
+// canonical (when, t_sched, src_shard, seq) merge order for cross-shard
+// deposits and horizon-deferred events, the degenerate one-shard path, the
+// run_until clock-parking semantics, and — as a catch-all — a randomized
+// node graph executed on 1/2/4 shards and checked state-for-state against
+// the sequential engine.
+#include "sim/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+namespace gputn::sim {
+namespace {
+
+constexpr Tick kLookahead = ns(100);
+
+TEST(ShardEngine, CrossShardPostMergesInCanonicalOrder) {
+  ShardEngine eng(2);
+  eng.set_lookahead(kLookahead);
+  std::vector<int> log;  // only shard 1 appends: single-threaded per round
+
+  // Shard 0 emits two deposits for the same destination timestamp from one
+  // tick — program order (the shared emit counter) must survive the merge.
+  eng.shard(0).schedule_at(ns(10), [&] {
+    Tick when = eng.shard(0).now() + kLookahead;
+    eng.post(0, 1, when, [&] { log.push_back(2); });
+    eng.post(0, 1, when, [&] { log.push_back(3); });
+  });
+  // Shard 1 schedules a local event at that same timestamp one tick EARLIER
+  // (t_sched ns(9) < ns(10)): sequentially it would have the smaller
+  // sequence number, so it must run first despite arriving via deferral.
+  eng.shard(1).schedule_at(ns(9), [&] {
+    eng.shard(1).schedule_at(ns(110), [&] { log.push_back(1); });
+  });
+  eng.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ShardEngine, DeferredLocalEventsKeepProgramOrder) {
+  ShardEngine eng(2);
+  eng.set_lookahead(kLookahead);
+  std::vector<int> log;
+  // Both schedules land past the first window's horizon (gmin=ns(1), so
+  // horizon ns(101)) and divert to the deferral buffer; re-insertion must
+  // preserve their emit order at the equal timestamp.
+  eng.shard(0).schedule_at(ns(1), [&] {
+    eng.shard(0).schedule_at(ns(500), [&] { log.push_back(1); });
+    eng.shard(0).schedule_at(ns(500), [&] { log.push_back(2); });
+  });
+  // Keep shard 1 busy so the run is genuinely multi-shard.
+  eng.shard(1).schedule_at(ns(1), [] {});
+  eng.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(ShardEngine, OneShardIsTheSequentialEngine) {
+  // shards == 1 must behave exactly like a bare Simulator: no lookahead
+  // configured, no horizon, identical timestamps.
+  Simulator ref;
+  ShardEngine eng(1);
+  std::vector<Tick> ref_ts, eng_ts;
+  for (int i = 0; i < 5; ++i) {
+    ref.schedule_at(us(i + 1), [&] { ref_ts.push_back(ref.now()); });
+    eng.shard(0).schedule_at(us(i + 1),
+                             [&] { eng_ts.push_back(eng.shard(0).now()); });
+  }
+  ref.run();
+  EXPECT_EQ(eng.run(), 5u);
+  EXPECT_EQ(eng_ts, ref_ts);
+  EXPECT_EQ(eng.shard(0).now(), ref.now());
+  EXPECT_EQ(eng.executed_events(), ref.executed_events());
+}
+
+TEST(ShardEngine, RunUntilParksEveryClock) {
+  ShardEngine eng(2);
+  eng.set_lookahead(kLookahead);
+  eng.shard(0).schedule_at(ns(50), [] {});
+  eng.shard(1).schedule_at(ns(700), [] {});
+  EXPECT_EQ(eng.run_until(us(3)), 2u);
+  // Sequential run_until parks the one clock at `until`; every shard must
+  // land there too so cross-phase code sees a single consistent time.
+  EXPECT_EQ(eng.shard(0).now(), us(3));
+  EXPECT_EQ(eng.shard(1).now(), us(3));
+}
+
+TEST(ShardEngine, NextTimeFoldsMailboxedDeposits) {
+  ShardEngine eng(2);
+  eng.set_lookahead(kLookahead);
+  bool ran = false;
+  eng.shard(0).schedule_at(ns(10), [&] {
+    eng.post(0, 1, eng.shard(0).now() + kLookahead, [&] { ran = true; });
+  });
+  EXPECT_EQ(eng.next_time(), ns(10));
+  EXPECT_TRUE(eng.step(eng.next_time()));  // runs the ns(10) tick only
+  // The deposit is sitting in a mailbox; next_time() must see it anyway.
+  EXPECT_EQ(eng.next_time(), ns(110));
+  while (eng.step(kTickMax)) {
+  }
+  EXPECT_TRUE(ran);
+}
+
+TEST(ShardEngine, EmptyEngineRunTerminates) {
+  ShardEngine eng(2);
+  eng.set_lookahead(kLookahead);
+  EXPECT_EQ(eng.run(), 0u);          // nothing pending: run() must return
+  EXPECT_EQ(eng.run_until(us(1)), 0u);
+  EXPECT_FALSE(eng.step(kTickMax));  // and step() must refuse, not spin
+}
+
+// Reference-model fuzz: a random graph of message-passing "nodes" executed
+// sequentially and on 2/4 shards. Every event appends a hash of (node,
+// execution time, payload) to its node's history and randomly emits local
+// follow-ups (small deltas, exercising the deferral horizon) and remote
+// sends at >= now + lookahead (the Fabric contract, exercising the mailbox
+// merge). Histories must be bit-identical across engines.
+struct FuzzWorld {
+  static constexpr int kNodes = 8;
+  std::vector<std::vector<std::uint64_t>> history{kNodes};
+  std::vector<Simulator*> node_sim;  // node -> owning simulator
+  std::vector<int> node_shard;       // node -> shard (all 0 when sequential)
+  ShardEngine* engine = nullptr;     // null for the sequential reference
+
+  /// Deterministic per-event RNG: a function of the event's identity only,
+  /// never of engine-dependent counters.
+  static std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+    std::uint64_t x = a * 0x9e3779b97f4a7c15ull ^ (b + 0x517cc1b727220a95ull);
+    x ^= x >> 32;
+    x *= 0xd6e8feb86659fd93ull;
+    return x ^ (x >> 32);
+  }
+
+  void event(int node, std::uint64_t payload, int depth) {
+    Simulator& sim = *node_sim[static_cast<std::size_t>(node)];
+    Tick now = sim.now();
+    history[static_cast<std::size_t>(node)].push_back(
+        mix(static_cast<std::uint64_t>(node) ^ payload,
+            static_cast<std::uint64_t>(now)));
+    if (depth <= 0) return;
+    std::uint64_t r = mix(payload, static_cast<std::uint64_t>(now) + depth);
+    // Local follow-up: a small delta that lands inside, at, or past the
+    // conservative horizon depending on the round's gmin.
+    if (r % 4 != 0) {
+      Tick when = now + static_cast<Tick>(r % 250000);  // 0..250 ns
+      sim.schedule_at(when,
+                      [this, node, r, depth] { event(node, r, depth - 1); });
+    }
+    // Remote send: always >= now + lookahead, like a wire hop.
+    if (r % 3 != 0) {
+      int dst = static_cast<int>((r >> 8) % kNodes);
+      Tick when = now + kLookahead + static_cast<Tick>((r >> 16) % 300000);
+      std::uint64_t pay = mix(r, static_cast<std::uint64_t>(dst));
+      auto fn = [this, dst, pay, depth] { event(dst, pay, depth - 1); };
+      int src_sh = node_shard[static_cast<std::size_t>(node)];
+      int dst_sh = node_shard[static_cast<std::size_t>(dst)];
+      if (engine != nullptr && src_sh != dst_sh) {
+        engine->post(src_sh, dst_sh, when, std::move(fn));
+      } else {
+        node_sim[static_cast<std::size_t>(dst)]->schedule_at(when,
+                                                             std::move(fn));
+      }
+    }
+  }
+};
+
+std::vector<std::vector<std::uint64_t>> fuzz_run(int shards,
+                                                 std::uint64_t seed) {
+  FuzzWorld w;
+  Simulator seq;
+  ShardEngine eng(shards > 1 ? shards : 1);
+  for (int n = 0; n < FuzzWorld::kNodes; ++n) {
+    int sh = shards > 1 ? n * shards / FuzzWorld::kNodes : 0;
+    w.node_shard.push_back(sh);
+    w.node_sim.push_back(shards > 1 ? &eng.shard(sh) : &seq);
+  }
+  if (shards > 1) {
+    w.engine = &eng;
+    eng.set_lookahead(kLookahead);
+  }
+  std::mt19937_64 rng(seed);
+  for (int i = 0; i < 24; ++i) {
+    int node = static_cast<int>(rng() % FuzzWorld::kNodes);
+    Tick at = static_cast<Tick>(rng() % 2000000);  // 0..2 us
+    std::uint64_t pay = rng();
+    w.node_sim[static_cast<std::size_t>(node)]->schedule_at(
+        at, [&w, node, pay] { w.event(node, pay, 6); });
+  }
+  if (shards > 1) {
+    eng.run();
+  } else {
+    seq.run();
+  }
+  return w.history;
+}
+
+TEST(ShardEngine, RandomizedMatchesSequentialReference) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    auto ref = fuzz_run(1, seed);
+    std::size_t total = 0;
+    for (const auto& h : ref) total += h.size();
+    ASSERT_GT(total, 100u) << "seed=" << seed << " degenerate schedule";
+    EXPECT_EQ(fuzz_run(2, seed), ref) << "seed=" << seed;
+    EXPECT_EQ(fuzz_run(4, seed), ref) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gputn::sim

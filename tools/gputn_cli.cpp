@@ -27,6 +27,13 @@
 // `gputn sweep` runs the built-in fig09+fig10+ablation mini-sweep through
 // the same engine (the plan bench/micro_sweep measures).
 //
+// Intra-run parallel DES:
+//   --shards S     partition one run's cluster across S worker threads
+//                  (sim::ShardEngine, conservative lookahead). Every result,
+//                  checksum, stat and flight dump is bit-identical to
+//                  --shards 1. Single-run only: rejected with --replicas,
+//                  --trace and --timeseries.
+//
 // Every workload also accepts observability flags:
 //   --trace FILE       write a Chrome-trace (Perfetto) JSON timeline with
 //                      per-message flow arrows (single runs only)
@@ -118,6 +125,9 @@ namespace {
       "  fault injection (jacobi/allreduce/broadcast): --loss <rate> "
       "--seed <s>\n"
       "  replication (any workload): --replicas <r> --jobs <n>\n"
+      "  parallel DES (any workload): --shards <s> worker threads inside "
+      "one run, bit-identical output; excludes "
+      "--replicas/--trace/--timeseries\n"
       "  observability (any workload): --trace <file> --stats-json <file> "
       "--timeseries <file> --sample-interval <ns> "
       "--flight <file> --flight-sample <p> --flight-capacity <n> "
@@ -179,6 +189,7 @@ bool is_driver_key(const std::string& k) {
   return k == "nodes" || k == "trace" || k == "stats-json" ||
          k == "timeseries" || k == "sample-interval" || k == "log-level" ||
          k == "loss" || k == "seed" || k == "jobs" || k == "replicas" ||
+         k == "shards" ||
          k == "flight" || k == "flight-sample" || k == "flight-capacity" ||
          k == "flight-exemplars" || k == "topology" || k == "routing" ||
          k == "credits";
@@ -426,7 +437,17 @@ int run_workload(const WorkloadEntry& entry, const Args& args) {
 
   long replicas = driver_int(args, "replicas", 1, 1, 1 << 20);
   int jobs = static_cast<int>(driver_int(args, "jobs", 0, 0, 4096));
+  int shards = static_cast<int>(driver_int(args, "shards", 1, 1, 4096));
   if (replicas > 1) {
+    // --jobs parallelizes across replicas, --shards inside one run; the two
+    // engines compose poorly (S*R threads, all oversubscribed), so like
+    // --trace we reject the combination loudly instead of silently picking.
+    if (shards > 1) {
+      std::fprintf(stderr,
+                   "gputn: --shards is single-run only (replicas already run "
+                   "in parallel via --jobs); drop --replicas or --shards\n");
+      return 2;
+    }
     // Seed-replicated run through the parallel engine. Each replica is an
     // isolated simulation; the merged report/JSON is in plan (seed) order
     // and bit-identical for any --jobs value.
@@ -463,6 +484,7 @@ int run_workload(const WorkloadEntry& entry, const Args& args) {
   opts.trace = obs.trace();
   opts.timeseries = obs.timeseries();
   opts.flight = obs.flight();
+  opts.shards = shards;  // --trace/--timeseries conflicts rejected downstream
   cluster::SystemConfig sys = cluster::SystemConfig::table2_with_loss(
       loss, static_cast<std::uint64_t>(seed));
 
@@ -473,10 +495,10 @@ int run_workload(const WorkloadEntry& entry, const Args& args) {
 
 /// `gputn sweep`: the built-in mini-sweep on the parallel engine.
 int run_sweep(const Args& args) {
-  if (args.has("trace") || args.has("timeseries")) {
+  if (args.has("trace") || args.has("timeseries") || args.has("shards")) {
     std::fprintf(stderr,
-                 "gputn: --trace/--timeseries are single-run only; the "
-                 "sweep runs its points in parallel\n");
+                 "gputn: --trace/--timeseries/--shards are single-run only; "
+                 "the sweep runs its points in parallel\n");
     return 2;
   }
   int jobs = static_cast<int>(driver_int(args, "jobs", 0, 0, 4096));
@@ -662,6 +684,16 @@ int main(int argc, char** argv) {
           fault.get_double("loss", 0.0, 0.0, 1.0),
           static_cast<std::uint64_t>(fault.get_int("seed", 1, 0, LONG_MAX)));
       std::printf("%s", sys.describe().c_str());
+      // The DES engine a run with these parameters would use: --shards
+      // workers with the conservative lookahead the fabric derives (the
+      // minimum cross-shard wire propagation = link latency on every
+      // built-in topology).
+      long shards = driver_int(args, "shards", 1, 1, 4096);
+      std::printf("Engine:   %ld shard%s (%s DES), lookahead %.0f ns "
+                  "(min cross-shard wire latency)\n",
+                  shards, shards == 1 ? "" : "s",
+                  shards == 1 ? "sequential" : "conservative parallel",
+                  sim::to_ns(sys.fabric.link_latency));
       return 0;
     }
     if (cmd == "sweep") {
