@@ -1,0 +1,160 @@
+// Causal what-if profile of the paper's headline contrast, cross-validated
+// against the blame model.
+//
+// Part 1 — jacobi (64^2 halo exchange, 32 iterations): under the CPU proxy
+// the biggest causal win is the host posting cost (the paper's thesis: the
+// CPU on the critical path), and the blame taxonomy cannot even see it —
+// host time between ops never reaches a NIC stage stamp, so the knob is
+// flagged "unattributed". Under GPU-TN the host is off the path: the top
+// knob is a wire/NIC parameter instead. Both shapes are asserted.
+//
+// Part 2 — serve at the knee (offered load past the proxy's saturation
+// point): blame shares stop composing linearly, so measured counterfactual
+// deltas diverge from the linear blame prediction. At least one flagged
+// divergence is asserted — the reason `gputn whatif` exists at all.
+//
+// Part 3 — determinism: the full matrix re-run at --jobs 1 and --jobs 2
+// must produce byte-identical JSON (exp::Runner's merge is plan-ordered).
+//
+// Every simulated number is machine-independent; only wall time varies.
+// Emits BENCH_whatif.json. Usage: fig_whatif [out.json] [--jobs N]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "cluster/config.hpp"
+#include "obs/whatif.hpp"
+#include "sim/json.hpp"
+#include "workloads/registry.hpp"
+
+using namespace gputn;
+
+namespace {
+
+obs::WhatifReport profile(workloads::Registry& reg,
+                          const std::string& workload,
+                          const workloads::WorkloadParams& params,
+                          const obs::WhatifOptions& opt) {
+  return obs::run_whatif(reg, workload, params, workloads::RunOptions{},
+                         cluster::SystemConfig::table2(), opt);
+}
+
+const obs::StrategyReport* find_strategy(const obs::WhatifReport& rep,
+                                         const std::string& name) {
+  for (const obs::StrategyReport& sr : rep.strategies)
+    if (sr.strategy == name) return &sr;
+  return nullptr;
+}
+
+std::string top_knob(const obs::StrategyReport* sr) {
+  if (sr == nullptr || !sr->baseline_ok || sr->ranking.empty()) return "";
+  return sr->ranking.front();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_whatif.json";
+  if (argc > 1 && std::strncmp(argv[1], "--", 2) != 0) out_path = argv[1];
+  int jobs = 0;  // exp::Runner: 0 = hardware concurrency
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) jobs = std::atoi(argv[i + 1]);
+  }
+
+  workloads::Registry reg;
+  workloads::register_builtin_workloads(reg);
+
+  // Part 1: jacobi, CPU proxy vs GPU-TN.
+  std::printf("fig_whatif: jacobi 64^2 x 32 iterations, CPU vs GPU-TN\n");
+  workloads::WorkloadParams jp;
+  jp.set("n", "64");
+  jp.set("iterations", "32");
+  obs::WhatifOptions jopt;
+  jopt.jobs = jobs;
+  obs::WhatifReport jacobi = profile(reg, "jacobi", jp, jopt);
+  std::fputs(obs::render_whatif(jacobi, jopt).c_str(), stdout);
+
+  const obs::StrategyReport* jcpu = find_strategy(jacobi, "CPU");
+  const obs::StrategyReport* jgtn = find_strategy(jacobi, "GPU-TN");
+  const std::string cpu_top = top_knob(jcpu);
+  const std::string gputn_top = top_knob(jgtn);
+  bool shape_ok = cpu_top == "host_post" && !gputn_top.empty() &&
+                  gputn_top != "host_post";
+  bool cpu_unattributed = false;
+  if (jcpu != nullptr) {
+    for (const obs::KnobResult& k : jcpu->knobs) {
+      if (k.name == "host_post") cpu_unattributed = k.verdict == "unattributed";
+    }
+  }
+  std::printf(
+      "  paper shape: CPU top knob = %s, GPU-TN top knob = %s  -> %s\n",
+      cpu_top.c_str(), gputn_top.c_str(), shape_ok ? "ok" : "WRONG");
+
+  // Part 2: serve past the proxy's knee — contention makes blame
+  // non-linear, so divergences must be flagged.
+  std::printf("\nfig_whatif: serve at the knee (CPU proxy, 4M req/s)\n");
+  workloads::WorkloadParams sp;
+  sp.set("clients", "2");
+  sp.set("servers", "2");
+  sp.set("tenants", "2");
+  sp.set("requests", "120");
+  sp.set("offered-load", "4000000");
+  sp.set("rw-mix", "0.5");
+  obs::WhatifOptions sopt;
+  sopt.jobs = jobs;
+  sopt.strategies = {workloads::Strategy::kCpu};
+  obs::WhatifReport serve = profile(reg, "serve", sp, sopt);
+  std::fputs(obs::render_whatif(serve, sopt).c_str(), stdout);
+  const obs::StrategyReport* scpu = find_strategy(serve, "CPU");
+  int serve_divergences =
+      (scpu != nullptr && scpu->baseline_ok) ? scpu->divergences : 0;
+
+  // Part 3: bit-identical JSON at --jobs 1 vs 2 (cheap matrix).
+  obs::WhatifOptions d1;
+  d1.jobs = 1;
+  d1.curve = false;
+  obs::WhatifOptions d2 = d1;
+  d2.jobs = 2;
+  const std::string j1 = obs::whatif_json(
+      profile(reg, "microbench", workloads::WorkloadParams{}, d1));
+  const std::string j2 = obs::whatif_json(
+      profile(reg, "microbench", workloads::WorkloadParams{}, d2));
+  bool deterministic = j1 == j2;
+  std::printf("\n  determinism (--jobs 1 vs 2): %s\n",
+              deterministic ? "bit-identical" : "NONDETERMINISTIC");
+
+  bool ok = shape_ok && cpu_unattributed && serve_divergences >= 1 &&
+            deterministic;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "fig_whatif: ASSERTION FAILED (shape=%d unattributed=%d "
+                 "serve_divergences=%d deterministic=%d)\n",
+                 shape_ok, cpu_unattributed, serve_divergences, deterministic);
+  }
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"jacobi\": {\n"
+      << "    \"cpu_baseline_us\": "
+      << (jcpu != nullptr ? jcpu->baseline_ps / 1e6 : 0.0) << ",\n"
+      << "    \"gputn_baseline_us\": "
+      << (jgtn != nullptr ? jgtn->baseline_ps / 1e6 : 0.0) << ",\n"
+      << "    \"cpu_top_knob\": \"" << sim::json_escape(cpu_top) << "\",\n"
+      << "    \"gputn_top_knob\": \"" << sim::json_escape(gputn_top)
+      << "\",\n"
+      << "    \"cpu_host_post_unattributed\": "
+      << (cpu_unattributed ? "true" : "false") << "\n"
+      << "  },\n"
+      << "  \"serve_knee_divergences\": " << serve_divergences << ",\n"
+      << "  \"deterministic\": " << (deterministic ? "true" : "false")
+      << ",\n"
+      << "  \"paper_shape_ok\": " << (ok ? "true" : "false") << "\n"
+      << "}\n";
+  if (!out.good()) {
+    std::fprintf(stderr, "fig_whatif: cannot write %s\n", out_path);
+    return 1;
+  }
+  std::printf("  wrote %s\n", out_path);
+  return ok ? 0 : 1;
+}

@@ -6,10 +6,12 @@
 #include <stdexcept>
 #include <utility>
 
-#include "obs/json_read.hpp"
+#include "sim/json.hpp"
 #include "sim/trace.hpp"
 
 namespace gputn::obs {
+
+namespace json = ::gputn::sim::json;
 
 namespace {
 

@@ -6,9 +6,11 @@
 #include <cstdlib>
 #include <stdexcept>
 
-#include "obs/json_read.hpp"
+#include "sim/json.hpp"
 
 namespace gputn::obs {
+
+namespace json = ::gputn::sim::json;
 
 namespace {
 

@@ -15,6 +15,96 @@ cluster::SystemConfig with_fabric_overrides(const RunOptions& opts,
   return out;
 }
 
+namespace {
+
+/// One pairwise rule. The reject reasons repeat the rationale the original
+/// per-flag rejections carried; the accept reasons document why the pair
+/// composes (each observer is private to a run or spooled per node).
+struct FlagRule {
+  const char* a;
+  const char* b;
+  bool ok;
+  const char* why;
+};
+
+constexpr FlagRule kFlagRules[] = {
+    {"--replicas", "--shards", false,
+     "replicas already run in parallel via --jobs; S*R threads would "
+     "oversubscribe the host"},
+    {"--replicas", "--trace", false, "replicas share no trace recorder"},
+    {"--replicas", "--timeseries", false, "replicas share no sampler"},
+    {"--replicas", "--flight", true,
+     "one private recorder per replica, dumps merged in plan order"},
+    {"--shards", "--trace", false,
+     "the trace recorder is unsynchronized across shard workers"},
+    {"--shards", "--timeseries", false,
+     "the sampler is unsynchronized across shard workers"},
+    {"--shards", "--flight", true,
+     "per-node spools, replayed in one canonical order after the run"},
+    {"--trace", "--timeseries", true, "both are pure single-run observers"},
+    {"--trace", "--flight", true, "both are pure single-run observers"},
+    {"--timeseries", "--flight", true, "both are pure single-run observers"},
+};
+
+bool flag_active(const ActiveFlags& f, const std::string& name) {
+  if (name == "--replicas") return f.replicas;
+  if (name == "--shards") return f.shards;
+  if (name == "--trace") return f.trace;
+  if (name == "--timeseries") return f.timeseries;
+  return f.flight;
+}
+
+}  // namespace
+
+std::string flag_conflict(const ActiveFlags& f) {
+  for (const FlagRule& r : kFlagRules) {
+    if (r.ok) continue;
+    if (flag_active(f, r.a) && flag_active(f, r.b)) {
+      return std::string(r.a) + " cannot be combined with " + r.b + " (" +
+             r.why + ")";
+    }
+  }
+  return {};
+}
+
+std::string flag_matrix() {
+  const char* flags[] = {"--replicas", "--shards", "--trace", "--timeseries",
+                         "--flight"};
+  std::string out =
+      "Flag compatibility (pairwise; all five compose with --jobs):\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %-14s", "");
+  out += line;
+  for (const char* col : flags) {
+    std::snprintf(line, sizeof(line), "%-14s", col);
+    out += line;
+  }
+  out += "\n";
+  for (const char* row : flags) {
+    std::snprintf(line, sizeof(line), "  %-14s", row);
+    out += line;
+    for (const char* col : flags) {
+      const char* cell = ".";
+      if (std::string(row) != col) {
+        for (const FlagRule& r : kFlagRules) {
+          if ((r.a == std::string(row) && r.b == col) ||
+              (r.a == std::string(col) && r.b == row)) {
+            cell = r.ok ? "ok" : "no";
+          }
+        }
+      }
+      std::snprintf(line, sizeof(line), "%-14s", cell);
+      out += line;
+    }
+    out += "\n";
+  }
+  for (const FlagRule& r : kFlagRules) {
+    if (r.ok) continue;
+    out += std::string("  ") + r.a + " + " + r.b + ": " + r.why + "\n";
+  }
+  return out;
+}
+
 std::string ResultBase::stats_json() const {
   return sim::stats_json(net_stats);
 }

@@ -91,6 +91,28 @@ struct RunOptions {
 cluster::SystemConfig with_fabric_overrides(const RunOptions& opts,
                                             const cluster::SystemConfig& sys);
 
+/// Which multi-run / observer flags a command line activated. The pairwise
+/// accept/reject rules between them used to be hand-coded per flag at each
+/// call site (CLI replicas checks, make_config shard checks) and drifted;
+/// this is the one table both the driver and `gputn config` read.
+struct ActiveFlags {
+  bool replicas = false;    ///< --replicas > 1
+  bool shards = false;      ///< --shards > 1
+  bool trace = false;       ///< --trace FILE
+  bool timeseries = false;  ///< --timeseries FILE
+  bool flight = false;      ///< --flight FILE
+};
+
+/// First pairwise conflict between the active flags, as a ready-to-print
+/// message naming both flags and the reason; empty when the combination is
+/// allowed. Deterministic: rules are checked in a fixed order.
+std::string flag_conflict(const ActiveFlags& f);
+
+/// The full pairwise compatibility matrix, rendered for `gputn config` and
+/// the docs. Covers every {--replicas, --shards, --trace, --timeseries,
+/// --flight} pair with the reason a pair is rejected or allowed.
+std::string flag_matrix();
+
 /// Result fields shared by every workload, plus the single report/export
 /// path. Workload results inherit this; the Registry returns it by value
 /// (sliced), which keeps exactly the generic fields a driver needs.

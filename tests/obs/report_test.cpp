@@ -247,6 +247,53 @@ TEST(Report, DiffGatesServeGoodputDrops) {
   EXPECT_EQ(diff_reports(b, d, ReportOptions{}).regressions, 0);
 }
 
+TEST(Report, TopEqualToResourceCountPrintsNoOmittedLine) {
+  // --top set to exactly the number of resources shows every row and no
+  // spurious "... 0 more resources" trailer.
+  Report rep = parse_report(kStatsFixture, "test.json");
+  ReportOptions opt;
+  opt.top = 2;
+  std::string got = render_report(rep, opt);
+  EXPECT_NE(got.find("linkA"), std::string::npos);
+  EXPECT_NE(got.find("\n  cpu "), std::string::npos);
+  EXPECT_EQ(got.find("more resources"), std::string::npos) << got;
+}
+
+TEST(Report, EmptyUtilCountersRenderWithNotice) {
+  // Stats that predate the utilization ledger (counters present, no
+  // util.* rows): the report renders the explanatory line instead of an
+  // empty table, and --top does not add an omitted-rows trailer.
+  const char* stats = R"({"counters": {"net.bytes": 10}, "histograms": {}})";
+  Report rep = parse_report(stats, "old.json");
+  ASSERT_EQ(rep.points.size(), 1u);
+  EXPECT_TRUE(rep.points[0].resources.empty());
+  ReportOptions opt;
+  opt.top = 5;
+  std::string got = render_report(rep, opt);
+  EXPECT_NE(got.find("(no util.* counters"), std::string::npos) << got;
+  EXPECT_EQ(got.find("more resources"), std::string::npos) << got;
+}
+
+TEST(Report, DiffIgnoresUnknownExtraKeysInBaseline) {
+  // A baseline written by a future gputn may carry keys this build does
+  // not know: unknown top-level sections parse away silently, and extra
+  // non-gated counters are summarized as baseline-only metrics — never
+  // gated, never a crash.
+  const char* cur = R"({"counters": {"util.window_ps": 100}})";
+  const char* base = R"({
+    "schema_version": 99,
+    "future_section": {"nested": [1, 2, {"deep": true}]},
+    "counters": {"util.window_ps": 100, "custom.experimental": 7}
+  })";
+  Report c = parse_report(cur, "cur.json");
+  Report b = parse_report(base, "base.json");
+  Diff d = diff_reports(c, b, ReportOptions{});
+  EXPECT_EQ(d.regressions, 0) << d.text;
+  EXPECT_NE(d.text.find("only in baseline"), std::string::npos) << d.text;
+  EXPECT_NE(d.text.find("OK: no gated metric regressed"), std::string::npos)
+      << d.text;
+}
+
 TEST(Report, MalformedInputThrows) {
   EXPECT_THROW(parse_report("{bad", "x"), std::runtime_error);
   EXPECT_THROW(parse_report("42", "x"), std::runtime_error);

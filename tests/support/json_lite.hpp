@@ -1,201 +1,24 @@
-// Minimal recursive-descent JSON parser for test assertions.
+// Test-facing view of the shared JSON reader (sim/json.hpp).
 //
-// Just enough of RFC 8259 to validate the exporters' output and walk the
-// parsed structure (objects, arrays, strings, doubles, bools, null) —
-// deliberately not a production parser. parse() returns nullopt on any
-// syntax error, so EXPECT_TRUE(parse(text).has_value()) doubles as a
-// strict validity check.
+// Historically this header carried its own parser copy; it is now a thin
+// alias so the parser exists exactly once. The nullopt discipline is kept:
+// parse() returns nullopt on any syntax error, so
+// EXPECT_TRUE(parse(text).has_value()) doubles as a strict validity check.
 #pragma once
 
-#include <cctype>
-#include <cstdlib>
-#include <map>
-#include <memory>
 #include <optional>
 #include <string>
-#include <vector>
+
+#include "sim/json.hpp"
 
 namespace gputn::test::json {
 
-struct Value;
-using Object = std::map<std::string, Value>;
-using Array = std::vector<Value>;
-
-struct Value {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::shared_ptr<Array> array;
-  std::shared_ptr<Object> object;
-
-  bool is_object() const { return kind == Kind::kObject; }
-  bool is_array() const { return kind == Kind::kArray; }
-  bool has(const std::string& key) const {
-    return is_object() && object->count(key) > 0;
-  }
-  const Value& at(const std::string& key) const { return object->at(key); }
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : s_(text) {}
-
-  std::optional<Value> parse() {
-    std::optional<Value> v = value();
-    skip_ws();
-    if (!v.has_value() || pos_ != s_.size()) return std::nullopt;
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-  }
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool literal(const char* word) {
-    std::size_t n = std::string(word).size();
-    if (s_.compare(pos_, n, word) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  std::optional<std::string> string_token() {
-    if (!consume('"')) return std::nullopt;
-    std::string out;
-    while (pos_ < s_.size()) {
-      char c = s_[pos_++];
-      if (c == '"') return out;
-      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= s_.size()) return std::nullopt;
-      char esc = s_[pos_++];
-      switch (esc) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          if (pos_ + 4 > s_.size()) return std::nullopt;
-          for (int i = 0; i < 4; ++i) {
-            if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
-              return std::nullopt;
-            }
-          }
-          // Tests only feed ASCII escapes; decode the low byte.
-          out.push_back(static_cast<char>(
-              std::strtol(s_.substr(pos_, 4).c_str(), nullptr, 16)));
-          pos_ += 4;
-          break;
-        }
-        default:
-          return std::nullopt;
-      }
-    }
-    return std::nullopt;  // unterminated
-  }
-
-  std::optional<Value> value() {
-    skip_ws();
-    if (pos_ >= s_.size()) return std::nullopt;
-    char c = s_[pos_];
-    Value v;
-    if (c == '{') {
-      ++pos_;
-      v.kind = Value::Kind::kObject;
-      v.object = std::make_shared<Object>();
-      skip_ws();
-      if (consume('}')) return v;
-      while (true) {
-        std::optional<std::string> key = string_token();
-        if (!key.has_value() || !consume(':')) return std::nullopt;
-        std::optional<Value> member = value();
-        if (!member.has_value()) return std::nullopt;
-        (*v.object)[*key] = *member;
-        if (consume(',')) continue;
-        if (consume('}')) return v;
-        return std::nullopt;
-      }
-    }
-    if (c == '[') {
-      ++pos_;
-      v.kind = Value::Kind::kArray;
-      v.array = std::make_shared<Array>();
-      skip_ws();
-      if (consume(']')) return v;
-      while (true) {
-        std::optional<Value> element = value();
-        if (!element.has_value()) return std::nullopt;
-        v.array->push_back(*element);
-        if (consume(',')) continue;
-        if (consume(']')) return v;
-        return std::nullopt;
-      }
-    }
-    if (c == '"') {
-      std::optional<std::string> s = string_token();
-      if (!s.has_value()) return std::nullopt;
-      v.kind = Value::Kind::kString;
-      v.string = *s;
-      return v;
-    }
-    if (c == 't') {
-      if (!literal("true")) return std::nullopt;
-      v.kind = Value::Kind::kBool;
-      v.boolean = true;
-      return v;
-    }
-    if (c == 'f') {
-      if (!literal("false")) return std::nullopt;
-      v.kind = Value::Kind::kBool;
-      return v;
-    }
-    if (c == 'n') {
-      if (!literal("null")) return std::nullopt;
-      return v;
-    }
-    // Number.
-    std::size_t start = pos_;
-    if (c == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) return std::nullopt;
-    char* end = nullptr;
-    std::string tok = s_.substr(start, pos_ - start);
-    v.number = std::strtod(tok.c_str(), &end);
-    if (end == nullptr || *end != '\0') return std::nullopt;
-    v.kind = Value::Kind::kNumber;
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
+using Value = ::gputn::sim::json::Value;
+using Object = ::gputn::sim::json::Object;
+using Array = ::gputn::sim::json::Array;
 
 inline std::optional<Value> parse(const std::string& text) {
-  return Parser(text).parse();
+  return ::gputn::sim::json::try_parse(text);
 }
 
 }  // namespace gputn::test::json

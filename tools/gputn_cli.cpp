@@ -5,6 +5,10 @@
 //   gputn report     FILE... [--baseline FILE] [--threshold PCT] [--top N]
 //   gputn analyze    FILE... [--baseline FILE] [--threshold PCT] [--top N]
 //                    [--exemplar ID --trace OUT]
+//   gputn whatif     WORKLOAD [workload options] [--strategies A,B]
+//                    [--knobs K1,K2] [--scales 0.5,2,inf] [--jobs N]
+//                    [--json FILE] [--baseline FILE] [--threshold PCT]
+//                    [--tolerance PCT] [--top N] [--no-curve]
 //   gputn <workload> [workload options]
 //
 // Workloads come from workloads::Registry (microbench, jacobi, allreduce,
@@ -65,6 +69,15 @@
 // deltas and exits nonzero when a gated metric regressed past --threshold
 // (default 5%), which makes it usable as a CI perf gate.
 //
+// `gputn whatif` is the causal what-if profiler: it re-runs the workload
+// under a matrix of virtually-scaled hardware knobs (see `gputn config` for
+// the registry), ranks knobs by measured end-to-end improvement, and
+// cross-validates each measured win against the blame-model and
+// busy-fraction predictions from the baseline run, flagging divergences
+// (queueing nonlinearity, hidden overlap, unattributed host software time).
+// --json writes a deterministic report; --baseline diffs against a previous
+// report and exits nonzero past --threshold, like `gputn report`.
+//
 // Exit code is nonzero on verification failure or bad arguments.
 #include <climits>
 #include <cstdio>
@@ -84,6 +97,7 @@
 #include "obs/flight.hpp"
 #include "obs/report.hpp"
 #include "obs/timeseries.hpp"
+#include "obs/whatif.hpp"
 #include "sim/log.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
@@ -112,6 +126,14 @@ namespace {
                "  %-18s   <file>... --baseline <file> --threshold <pct> "
                "--top <n> --exemplar <id> --trace <out>\n",
                "analyze", "");
+  std::fprintf(stderr,
+               "  %-18s causal hardware sensitivity profile (counterfactual "
+               "re-runs)\n"
+               "  %-18s   <workload> [workload opts] --strategies <a,b> "
+               "--knobs <k1,k2> --scales <0.5,2,inf> --jobs <n> "
+               "--json <file> --baseline <file> --threshold <pct> "
+               "--tolerance <pct> --top <n> --no-curve\n",
+               "whatif", "");
   for (const auto& e : Registry::instance().entries()) {
     std::fprintf(stderr, "  %-18s %s\n", e.name.c_str(),
                  e.description.c_str());
@@ -202,6 +224,15 @@ long driver_int(const Args& args, const std::string& key, long dflt, long min,
   WorkloadParams p;
   p.set(key, args.get(key, ""));
   return p.get_int(key, dflt, min, max);
+}
+
+/// Same, floating point (whatif's --tolerance / --threshold).
+double driver_double(const Args& args, const std::string& key, double dflt,
+                     double min, double max) {
+  if (!args.has(key)) return dflt;
+  WorkloadParams p;
+  p.set(key, args.get(key, ""));
+  return p.get_double(key, dflt, min, max);
 }
 
 /// The --flight-* knobs as a recorder config (shared by single runs and the
@@ -438,31 +469,23 @@ int run_workload(const WorkloadEntry& entry, const Args& args) {
   long replicas = driver_int(args, "replicas", 1, 1, 1 << 20);
   int jobs = static_cast<int>(driver_int(args, "jobs", 0, 0, 4096));
   int shards = static_cast<int>(driver_int(args, "shards", 1, 1, 4096));
+  // Pairwise multi-run / observer flag rules come from the one shared table
+  // (workloads::kFlagRules — also printed by `gputn config`), so the driver
+  // cannot drift from make_config's own rejections.
+  ActiveFlags active;
+  active.replicas = replicas > 1;
+  active.shards = shards > 1;
+  active.trace = args.has("trace");
+  active.timeseries = args.has("timeseries");
+  active.flight = args.has("flight");
+  if (std::string conflict = flag_conflict(active); !conflict.empty()) {
+    std::fprintf(stderr, "gputn: %s\n", conflict.c_str());
+    return 2;
+  }
   if (replicas > 1) {
-    // --jobs parallelizes across replicas, --shards inside one run; the two
-    // engines compose poorly (S*R threads, all oversubscribed), so like
-    // --trace we reject the combination loudly instead of silently picking.
-    if (shards > 1) {
-      std::fprintf(stderr,
-                   "gputn: --shards is single-run only (replicas already run "
-                   "in parallel via --jobs); drop --replicas or --shards\n");
-      return 2;
-    }
     // Seed-replicated run through the parallel engine. Each replica is an
     // isolated simulation; the merged report/JSON is in plan (seed) order
     // and bit-identical for any --jobs value.
-    if (args.has("trace")) {
-      std::fprintf(stderr,
-                   "gputn: --trace is single-run only (replicas share no "
-                   "recorder); drop --replicas or --trace\n");
-      return 2;
-    }
-    if (args.has("timeseries")) {
-      std::fprintf(stderr,
-                   "gputn: --timeseries is single-run only (replicas share "
-                   "no sampler); drop --replicas or --timeseries\n");
-      return 2;
-    }
     std::vector<std::unique_ptr<obs::FlightRecorder>> flights;
     if (args.has("flight")) {
       for (long r = 0; r < replicas; ++r) {
@@ -643,6 +666,134 @@ int run_analyze(int argc, char** argv) {
   return rc;
 }
 
+/// Comma-split a list flag value ("a,b,c" -> {"a","b","c"}, empties
+/// dropped).
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// `gputn whatif WORKLOAD [...]`: the causal what-if profiler.
+int run_whatif_cmd(int argc, char** argv) {
+  if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) usage();
+  std::string workload = argv[2];
+  Args args(argc, argv, 3);
+  apply_log_level(args);
+
+  // The profiler owns its own plan, recorders and parallelism; the
+  // single-run observer and multi-run flags do not compose with it.
+  static const char* kRejected[] = {
+      "trace",           "timeseries",      "flight",        "shards",
+      "replicas",        "stats-json",      "flight-sample",
+      "flight-capacity", "flight-exemplars", "sample-interval"};
+  for (const char* k : kRejected) {
+    if (args.has(k)) {
+      std::fprintf(stderr,
+                   "gputn: --%s cannot be combined with whatif (the profiler "
+                   "drives its own runs and recorders)\n",
+                   k);
+      return 2;
+    }
+  }
+
+  auto is_whatif_key = [](const std::string& k) {
+    return k == "strategies" || k == "knobs" || k == "scales" ||
+           k == "tolerance" || k == "threshold" || k == "baseline" ||
+           k == "json" || k == "top" || k == "no-curve";
+  };
+  WorkloadParams params;
+  for (const auto& [k, v] : args.all()) {
+    if (!is_driver_key(k) && !is_whatif_key(k)) params.set(k, v);
+  }
+
+  obs::WhatifOptions opt;
+  opt.jobs = static_cast<int>(driver_int(args, "jobs", 0, 0, 4096));
+  opt.tolerance_pct = driver_double(args, "tolerance", 2.0, 0.0, 100.0);
+  opt.threshold_pct = driver_double(args, "threshold", 5.0, 0.0, 1e6);
+  opt.top = static_cast<int>(driver_int(args, "top", 0, 0, 1 << 20));
+  opt.curve = !args.has("no-curve");
+  opt.knobs = split_csv(args.get("knobs", ""));
+  opt.strategies.clear();
+  for (const std::string& name : split_csv(
+           args.get("strategies", "CPU,GPU-TN"))) {
+    bool found = false;
+    for (Strategy s : kTaxonomyStrategies) {
+      if (name == strategy_name(s)) {
+        opt.strategies.push_back(s);
+        found = true;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument("unknown strategy: " + name +
+                                  " (CPU, HDN, GDS, GPU-TN, GHN, GNN)");
+    }
+  }
+  opt.scales.clear();
+  for (const std::string& tok : split_csv(args.get("scales", "0.5,2,inf"))) {
+    if (tok == "inf") {
+      opt.scales.push_back(obs::kInfiniteSpeed);
+      continue;
+    }
+    WorkloadParams p;
+    p.set("scale", tok);
+    opt.scales.push_back(p.get_double("scale", 0.0, 1e-6, 1e12));
+  }
+
+  RunOptions opts;
+  opts.nodes = static_cast<int>(driver_int(args, "nodes", 0, 2, 1 << 16));
+  opts.topology = args.get("topology", "");
+  opts.routing = args.get("routing", "");
+  opts.credits =
+      static_cast<int>(driver_int(args, "credits", -1, -1, 1 << 20));
+
+  WorkloadParams fault;
+  if (args.has("loss")) fault.set("loss", args.get("loss", ""));
+  double loss = fault.get_double("loss", 0.0, 0.0, 1.0);
+  long seed = driver_int(args, "seed", 1, 0, LONG_MAX - (1 << 20));
+  cluster::SystemConfig sys = cluster::SystemConfig::table2_with_loss(
+      loss, static_cast<std::uint64_t>(seed));
+
+  // Parse the baseline before burning the matrix: a corrupt file fails in
+  // milliseconds, not after the full counterfactual sweep.
+  std::string baseline = args.get("baseline", "");
+  obs::WhatifReport base;
+  if (!baseline.empty()) base = obs::parse_whatif(slurp(baseline), baseline);
+
+  obs::WhatifReport rep = obs::run_whatif(Registry::instance(), workload,
+                                          params, opts, sys, opt);
+  std::fputs(obs::render_whatif(rep, opt).c_str(), stdout);
+
+  int rc = 0;
+  for (const obs::StrategyReport& sr : rep.strategies) {
+    if (!sr.baseline_ok) rc = 1;
+  }
+  std::string json_path = args.get("json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (out) out << obs::whatif_json(rep) << std::flush;
+    if (out.good()) {
+      std::printf("  whatif: %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "gputn: cannot write whatif report to '%s'\n",
+                   json_path.c_str());
+      rc = 1;
+    }
+  }
+  if (!baseline.empty()) {
+    obs::WhatifDiff d = obs::diff_whatif(rep, base, opt.threshold_pct);
+    std::fputs(d.text.c_str(), stdout);
+    if (d.regressions > 0) rc = 1;
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -665,6 +816,20 @@ int main(int argc, char** argv) {
     // regressions against --baseline exit 1, a self-diff exits 0.
     try {
       return run_analyze(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "gputn: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (cmd == "whatif") {
+    // Positional workload argument, so dispatched before the Args parser.
+    // Usage errors (unknown workload / knob / strategy) exit 2; runtime
+    // failures (unreadable or malformed --baseline) exit 1, like report.
+    try {
+      return run_whatif_cmd(argc, argv);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "gputn: %s\n", e.what());
+      return 2;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "gputn: %s\n", e.what());
       return 1;
@@ -694,6 +859,12 @@ int main(int argc, char** argv) {
                   shards, shards == 1 ? "" : "s",
                   shards == 1 ? "sequential" : "conservative parallel",
                   sim::to_ns(sys.fabric.link_latency));
+      std::printf("\n%s", flag_matrix().c_str());
+      std::printf("\nWhatif knobs (gputn whatif --knobs ...):\n");
+      for (const obs::Knob& k : obs::knob_registry()) {
+        std::printf("  %-15s %-9s %s\n", k.name.c_str(), k.kind.c_str(),
+                    k.description.c_str());
+      }
       return 0;
     }
     if (cmd == "sweep") {
